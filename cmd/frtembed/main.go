@@ -1,0 +1,141 @@
+// Command frtembed samples FRT metric tree embeddings from a weighted
+// graph: it reads (or generates) a graph, draws one or more trees from the
+// FRT distribution using the paper's polylog-depth oracle pipeline, and
+// reports stretch statistics and, optionally, the tree itself.
+//
+// Usage:
+//
+//	frtembed -gen random -n 256 -m 1024 -trees 5 -pairs 50
+//	frtembed -in graph.txt -trees 3 -print-tree
+//
+// Graph files use the edge-list format of internal/graph (p/e lines).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"parmbf/internal/frt"
+	"parmbf/internal/graph"
+	"parmbf/internal/par"
+)
+
+func main() {
+	var (
+		in        = flag.String("in", "", "read graph from file (edge-list format)")
+		gen       = flag.String("gen", "random", "generator: random | grid | path | cycle | geometric | lollipop | powerlaw")
+		n         = flag.Int("n", 256, "generated graph size")
+		m         = flag.Int("m", 0, "generated edge count (random generator; default 4n)")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		trees     = flag.Int("trees", 3, "number of trees to sample")
+		pairs     = flag.Int("pairs", 50, "node pairs for stretch measurement")
+		exact     = flag.Bool("exact", false, "use the exact-metric baseline sampler instead of the oracle pipeline")
+		printTree = flag.Bool("print-tree", false, "print the first sampled tree")
+		treeOut   = flag.String("tree-out", "", "write the first sampled tree to this file")
+	)
+	flag.Parse()
+
+	rng := par.NewRNG(*seed)
+	g, err := loadGraph(*in, *gen, *n, *m, rng)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("graph: n=%d m=%d connected=%v\n", g.N(), g.M(), g.Connected())
+
+	var first *frt.Embedding
+	sampler := func() (*frt.Embedding, error) {
+		var emb *frt.Embedding
+		var err error
+		if *exact {
+			emb, err = frt.SampleExact(g, rng, nil)
+		} else {
+			emb, err = frt.Sample(g, frt.Options{RNG: rng})
+		}
+		if err == nil && first == nil {
+			first = emb
+		}
+		return emb, err
+	}
+	stats, err := frt.MeasureStretch(g, sampler, *trees, *pairs, rng)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("trees=%d pairs=%d\n", stats.Trees, stats.Pairs)
+	fmt.Printf("avg stretch        %.3f\n", stats.AvgStretch)
+	fmt.Printf("max avg stretch    %.3f\n", stats.MaxAvgStretch)
+	fmt.Printf("max single stretch %.3f\n", stats.MaxStretch)
+	fmt.Printf("min ratio          %.3f (must be ≥ 1)\n", stats.MinRatio)
+	if first != nil {
+		fmt.Printf("first tree: %d tree nodes, depth %d, β=%.3f, oracle iterations %d\n",
+			first.Tree.NumNodes(), first.Tree.Depth(), first.Beta, first.Iterations)
+		if *printTree {
+			printTreeOut(first.Tree)
+		}
+		if *treeOut != "" {
+			f, err := os.Create(*treeOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+			if err := frt.WriteTree(f, first.Tree); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("tree written to %s\n", *treeOut)
+		}
+	}
+}
+
+func loadGraph(in, gen string, n, m int, rng *par.RNG) (*graph.Graph, error) {
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return graph.Read(f)
+	}
+	switch gen {
+	case "random":
+		if m <= 0 {
+			m = 4 * n
+		}
+		return graph.RandomConnected(n, m, 10, rng), nil
+	case "grid":
+		side := 1
+		for side*side < n {
+			side++
+		}
+		return graph.GridGraph(side, side, 10, rng), nil
+	case "path":
+		return graph.PathGraph(n, 1), nil
+	case "cycle":
+		return graph.CycleGraph(n, 1), nil
+	case "geometric":
+		return graph.RandomGeometric(n, 0.15, rng), nil
+	case "lollipop":
+		return graph.Lollipop(n/4, 3*n/4), nil
+	case "powerlaw":
+		return graph.BarabasiAlbert(n, 3, 10, rng), nil
+	default:
+		return nil, fmt.Errorf("unknown generator %q", gen)
+	}
+}
+
+func printTreeOut(t *frt.Tree) {
+	fmt.Println("tree (node parent level center edgeWeight):")
+	for u := 0; u < t.NumNodes(); u++ {
+		fmt.Printf("  %d %d %d %d %g\n", u, t.Parent[u], t.Level[u], t.Center[u], t.EdgeWeight[u])
+	}
+	fmt.Println("leaves (graphNode -> treeNode):")
+	for v, leaf := range t.Leaf {
+		fmt.Printf("  %d -> %d\n", v, leaf)
+	}
+}

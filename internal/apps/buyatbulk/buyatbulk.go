@@ -1,0 +1,262 @@
+// Package buyatbulk implements the buy-at-bulk network design application
+// of §10 of Friedrichs & Lenzen: an expected O(log n)-approximation
+// (Theorem 10.2) that
+//
+//	(1) embeds the graph into a sampled FRT tree,
+//	(2) routes every demand along its unique tree path and buys, per tree
+//	    edge with accumulated flow d_e, the cable type minimising
+//	    c_i·⌈d_e/u_i⌉ (an O(1)-approximation on the tree), and
+//	(3) maps each tree edge back to a shortest path in G between the
+//	    cluster centers (§7.5), purchasing the same cables along it.
+//
+// The linearity of the objective in edge weights is what makes the FRT
+// stretch argument go through: an optimal solution in G induces a tree
+// solution of expected cost O(log n)·OPT, and mapping back pays only a
+// constant factor.
+package buyatbulk
+
+import (
+	"fmt"
+	"math"
+
+	"parmbf/internal/frt"
+	"parmbf/internal/graph"
+	"parmbf/internal/par"
+)
+
+// Demand routes Amount units of (distinct) flow from S to T.
+type Demand struct {
+	S, T   graph.Node
+	Amount float64
+}
+
+// CableType has capacity Capacity and costs Cost per unit of edge weight;
+// multiple cables of one type may be bought for an edge.
+type CableType struct {
+	Capacity float64
+	Cost     float64
+}
+
+// Purchase is a cable assignment to a graph edge.
+type Purchase struct {
+	U, V  graph.Node
+	Cable int
+	Count int
+}
+
+// Solution is a priced buy-at-bulk solution together with the per-edge flow
+// it must support.
+type Solution struct {
+	// Purchases lists all bought cables.
+	Purchases []Purchase
+	// Cost is the total purchase cost.
+	Cost float64
+	// Flow is the flow each purchased edge must carry, keyed like
+	// Purchases by (U, V) with U < V.
+	Flow map[[2]graph.Node]float64
+}
+
+// Options configures Solve.
+type Options struct {
+	// RNG is the randomness source (required).
+	RNG *par.RNG
+	// UseOracle selects the polylog-depth oracle pipeline for the tree
+	// sample (the paper's algorithm); false uses the direct LE-list
+	// computation on G.
+	UseOracle bool
+	// Tracker, if non-nil, is charged the work/depth.
+	Tracker *par.Tracker
+}
+
+// bestCable returns the cable choice minimising cost·⌈flow/capacity⌉ per
+// unit of edge weight.
+func bestCable(cables []CableType, flow float64) (idx, count int, costPerWeight float64) {
+	idx = -1
+	for i, c := range cables {
+		n := int(math.Ceil(flow / c.Capacity))
+		if n < 1 {
+			n = 1
+		}
+		if cost := float64(n) * c.Cost; idx == -1 || cost < costPerWeight {
+			idx, count, costPerWeight = i, n, cost
+		}
+	}
+	return idx, count, costPerWeight
+}
+
+// Solve computes an expected O(log n)-approximate buy-at-bulk solution.
+func Solve(g *graph.Graph, demands []Demand, cables []CableType, opts Options) (*Solution, error) {
+	if opts.RNG == nil {
+		return nil, fmt.Errorf("buyatbulk: Options.RNG is required")
+	}
+	if len(cables) == 0 {
+		return nil, fmt.Errorf("buyatbulk: no cable types")
+	}
+	for _, c := range cables {
+		if c.Capacity <= 0 || c.Cost <= 0 {
+			return nil, fmt.Errorf("buyatbulk: invalid cable type %+v", c)
+		}
+	}
+	for _, d := range demands {
+		if d.Amount <= 0 || int(d.S) >= g.N() || int(d.T) >= g.N() {
+			return nil, fmt.Errorf("buyatbulk: invalid demand %+v", d)
+		}
+	}
+
+	var emb *frt.Embedding
+	var err error
+	if opts.UseOracle {
+		emb, err = frt.Sample(g, frt.Options{RNG: opts.RNG, Tracker: opts.Tracker})
+	} else {
+		emb, err = frt.SampleOnGraph(g, opts.RNG, opts.Tracker)
+	}
+	if err != nil {
+		return nil, err
+	}
+	tree := emb.Tree
+
+	// (2) Route demands on the tree: accumulate flow per tree edge (keyed
+	// by the child endpoint).
+	flow := make([]float64, tree.NumNodes())
+	for _, d := range demands {
+		a, b := tree.Leaf[d.S], tree.Leaf[d.T]
+		for a != b {
+			flow[a] += d.Amount
+			flow[b] += d.Amount
+			a, b = tree.Parent[a], tree.Parent[b]
+		}
+	}
+
+	// (3) Buy cables per loaded tree edge and map them onto shortest
+	// center-to-center paths in G. Dijkstra results are cached per center.
+	sssp := map[graph.Node]*graph.SSSPResult{}
+	pathOf := func(from, to graph.Node) []graph.Node {
+		res, ok := sssp[from]
+		if !ok {
+			res = graph.Dijkstra(g, from)
+			sssp[from] = res
+			opts.Tracker.AddPhase(int64(g.M()+g.N()), 1)
+		}
+		return res.PathTo(to)
+	}
+
+	type edgeKey = [2]graph.Node
+	counts := map[edgeKey]map[int]int{}
+	flowBy := map[edgeKey]float64{}
+	for child := int32(0); child < int32(tree.NumNodes()); child++ {
+		f := flow[child]
+		p := tree.Parent[child]
+		if f <= 0 || p == -1 {
+			continue
+		}
+		from, to := tree.Center[child], tree.Center[p]
+		if from == to {
+			continue // zero-length hop: nothing to buy
+		}
+		cable, count, _ := bestCable(cables, f)
+		path := pathOf(from, to)
+		if path == nil {
+			return nil, fmt.Errorf("buyatbulk: centers %d, %d disconnected", from, to)
+		}
+		for i := 1; i < len(path); i++ {
+			k := orderedKey(path[i-1], path[i])
+			if counts[k] == nil {
+				counts[k] = map[int]int{}
+			}
+			counts[k][cable] += count
+			flowBy[k] += f
+		}
+	}
+
+	sol := &Solution{Flow: flowBy}
+	for k, byCable := range counts {
+		w, ok := g.HasEdge(k[0], k[1])
+		if !ok {
+			return nil, fmt.Errorf("buyatbulk: purchase on non-edge {%d,%d}", k[0], k[1])
+		}
+		for cable, count := range byCable {
+			sol.Purchases = append(sol.Purchases, Purchase{U: k[0], V: k[1], Cable: cable, Count: count})
+			sol.Cost += float64(count) * cables[cable].Cost * w
+		}
+	}
+	return sol, nil
+}
+
+func orderedKey(u, v graph.Node) [2]graph.Node {
+	if u < v {
+		return [2]graph.Node{u, v}
+	}
+	return [2]graph.Node{v, u}
+}
+
+// DirectShortestPath is the aggregation-free baseline: each demand is routed
+// on a shortest path in G, flows are summed per edge, and the best cable
+// combination is bought per edge.
+func DirectShortestPath(g *graph.Graph, demands []Demand, cables []CableType) *Solution {
+	flowBy := map[[2]graph.Node]float64{}
+	sssp := map[graph.Node]*graph.SSSPResult{}
+	for _, d := range demands {
+		res, ok := sssp[d.S]
+		if !ok {
+			res = graph.Dijkstra(g, d.S)
+			sssp[d.S] = res
+		}
+		path := res.PathTo(d.T)
+		for i := 1; i < len(path); i++ {
+			flowBy[orderedKey(path[i-1], path[i])] += d.Amount
+		}
+	}
+	sol := &Solution{Flow: flowBy}
+	for k, f := range flowBy {
+		w, _ := g.HasEdge(k[0], k[1])
+		cable, count, _ := bestCable(cables, f)
+		sol.Purchases = append(sol.Purchases, Purchase{U: k[0], V: k[1], Cable: cable, Count: count})
+		sol.Cost += float64(count) * cables[cable].Cost * w
+	}
+	return sol
+}
+
+// LowerBound returns a simple volume bound: every unit of every demand must
+// travel at least its shortest-path distance, paying at least the best
+// cost-per-capacity rate among the cables.
+func LowerBound(g *graph.Graph, demands []Demand, cables []CableType) float64 {
+	bestRate := math.Inf(1)
+	for _, c := range cables {
+		if r := c.Cost / c.Capacity; r < bestRate {
+			bestRate = r
+		}
+	}
+	sssp := map[graph.Node]*graph.SSSPResult{}
+	total := 0.0
+	for _, d := range demands {
+		res, ok := sssp[d.S]
+		if !ok {
+			res = graph.Dijkstra(g, d.S)
+			sssp[d.S] = res
+		}
+		total += d.Amount * res.Dist[d.T]
+	}
+	return total * bestRate
+}
+
+// Validate checks structural soundness of a solution: every purchase sits
+// on a real edge with positive count, and the purchased capacity of every
+// edge covers the flow the solution routes over it.
+func Validate(g *graph.Graph, cables []CableType, sol *Solution) error {
+	capacity := map[[2]graph.Node]float64{}
+	for _, p := range sol.Purchases {
+		if _, ok := g.HasEdge(p.U, p.V); !ok {
+			return fmt.Errorf("purchase on non-edge {%d,%d}", p.U, p.V)
+		}
+		if p.Count < 1 || p.Cable < 0 || p.Cable >= len(cables) {
+			return fmt.Errorf("invalid purchase %+v", p)
+		}
+		capacity[orderedKey(p.U, p.V)] += float64(p.Count) * cables[p.Cable].Capacity
+	}
+	for k, f := range sol.Flow {
+		if capacity[k] < f-1e-9 {
+			return fmt.Errorf("edge {%d,%d}: capacity %v below flow %v", k[0], k[1], capacity[k], f)
+		}
+	}
+	return nil
+}

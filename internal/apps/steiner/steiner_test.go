@@ -1,0 +1,158 @@
+package steiner
+
+import (
+	"testing"
+
+	"parmbf/internal/graph"
+	"parmbf/internal/par"
+)
+
+func TestMSTBasics(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 2)
+	g.AddEdge(2, 3, 3)
+	g.AddEdge(0, 3, 10)
+	mst, w := graph.MST(g)
+	if w != 6 {
+		t.Fatalf("MST weight %v, want 6", w)
+	}
+	if mst.M() != 3 {
+		t.Fatalf("MST has %d edges", mst.M())
+	}
+	if _, ok := mst.HasEdge(0, 3); ok {
+		t.Fatal("heavy edge in MST")
+	}
+}
+
+func TestUnionFind(t *testing.T) {
+	uf := graph.NewUnionFind(5)
+	if !uf.Union(0, 1) || !uf.Union(2, 3) {
+		t.Fatal("fresh unions failed")
+	}
+	if uf.Union(0, 1) {
+		t.Fatal("repeated union succeeded")
+	}
+	if uf.Find(0) != uf.Find(1) || uf.Find(2) != uf.Find(3) {
+		t.Fatal("find inconsistent")
+	}
+	if uf.Find(0) == uf.Find(4) {
+		t.Fatal("disjoint sets merged")
+	}
+}
+
+func TestMetricClosureOnPath(t *testing.T) {
+	// Terminals at the ends of a path: the optimum is the whole path.
+	g := graph.PathGraph(10, 1)
+	r, err := MetricClosureMST(g, []graph.Node{0, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Weight != 9 {
+		t.Fatalf("weight %v, want 9", r.Weight)
+	}
+}
+
+func TestMetricClosureWithin2OPTOnStar(t *testing.T) {
+	// A star with terminals on the leaves: OPT uses the hub; the closure
+	// MST pays at most twice.
+	g := graph.New(5)
+	for v := 1; v < 5; v++ {
+		g.AddEdge(0, graph.Node(v), 1)
+	}
+	terms := []graph.Node{1, 2, 3, 4}
+	r, err := MetricClosureMST(g, terms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Weight != 4 { // the star itself is recovered after pruning
+		t.Fatalf("weight %v, want 4", r.Weight)
+	}
+}
+
+func TestViaEmbeddingConnectsTerminals(t *testing.T) {
+	rng := par.NewRNG(1)
+	g := graph.RandomConnected(60, 150, 6, rng)
+	terms := []graph.Node{0, 17, 33, 59}
+	r, err := ViaEmbedding(g, terms, rng, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(g, terms, r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Weight <= 0 {
+		t.Fatal("zero-weight tree")
+	}
+}
+
+func TestViaEmbeddingOraclePipeline(t *testing.T) {
+	rng := par.NewRNG(2)
+	g := graph.RandomConnected(50, 120, 5, rng)
+	terms := []graph.Node{1, 10, 44}
+	r, err := ViaEmbedding(g, terms, rng, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(g, terms, r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestViaEmbeddingApproximationRatio(t *testing.T) {
+	// The embedding solution must be within O(log n) of the lower bound;
+	// at n = 60 a ratio beyond 12 would indicate a broken pipeline.
+	rng := par.NewRNG(3)
+	g := graph.GridGraph(8, 8, 3, rng)
+	terms := []graph.Node{0, 7, 56, 63, 27}
+	best := -1.0
+	for trial := 0; trial < 3; trial++ {
+		r, err := ViaEmbedding(g, terms, rng, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if best < 0 || r.Weight < best {
+			best = r.Weight
+		}
+	}
+	lb, err := LowerBound(g, terms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best < lb-1e-9 {
+		t.Fatalf("solution %v beats the lower bound %v", best, lb)
+	}
+	if best > 12*lb {
+		t.Fatalf("ratio %v implausibly large", best/lb)
+	}
+}
+
+func TestPruneRemovesUselessBranches(t *testing.T) {
+	// Feed prune a subgraph with a dangling non-terminal branch.
+	g := graph.PathGraph(6, 1)
+	sub := graph.New(6)
+	sub.AddEdge(0, 1, 1)
+	sub.AddEdge(1, 2, 1)
+	sub.AddEdge(2, 3, 1) // dangling branch beyond terminal 2
+	r := prune(g, sub, []graph.Node{0, 2})
+	if r.Weight != 2 {
+		t.Fatalf("pruned weight %v, want 2", r.Weight)
+	}
+	if _, ok := r.Tree.HasEdge(2, 3); ok {
+		t.Fatal("dangling branch survived pruning")
+	}
+}
+
+func TestValidateInput(t *testing.T) {
+	g := graph.PathGraph(5, 1)
+	rng := par.NewRNG(4)
+	if _, err := ViaEmbedding(g, []graph.Node{1}, rng, false); err == nil {
+		t.Fatal("single terminal accepted")
+	}
+	if _, err := ViaEmbedding(g, []graph.Node{1, 1}, rng, false); err == nil {
+		t.Fatal("duplicate terminal accepted")
+	}
+	if _, err := ViaEmbedding(g, []graph.Node{1, 9}, rng, false); err == nil {
+		t.Fatal("out-of-range terminal accepted")
+	}
+}

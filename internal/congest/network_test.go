@@ -1,0 +1,124 @@
+package congest
+
+import (
+	"testing"
+
+	"parmbf/internal/frt"
+	"parmbf/internal/graph"
+	"parmbf/internal/par"
+	"parmbf/internal/semiring"
+)
+
+func TestMessageKhanMatchesExactLE(t *testing.T) {
+	rng := par.NewRNG(1)
+	g := graph.RandomConnected(40, 90, 6, rng)
+	order := frt.NewOrder(g.N(), rng)
+	lists, rounds := MessageKhan(g, order)
+	if rounds <= 0 {
+		t.Fatal("no rounds simulated")
+	}
+	exact := graph.APSPDijkstra(g)
+	filter := order.Filter()
+	mod := semiring.DistMapModule{}
+	for v := 0; v < g.N(); v++ {
+		full := make(semiring.DistMap, 0, g.N())
+		for w := 0; w < g.N(); w++ {
+			full = append(full, semiring.Entry{Node: graph.Node(w), Dist: exact.At(v, w)})
+		}
+		if want := filter(full); !mod.Equal(lists[v], want) {
+			t.Fatalf("node %d: message protocol %v ≠ exact LE %v", v, lists[v], want)
+		}
+	}
+}
+
+func TestMessageKhanAgreesWithIterationVersion(t *testing.T) {
+	rng := par.NewRNG(2)
+	g := graph.GridGraph(6, 6, 4, rng)
+	order := frt.NewOrder(g.N(), rng)
+	msgLists, _ := MessageKhan(g, order)
+
+	runner := leRunner(g, order, 1)
+	iterLists, _ := runner.RunToFixpoint(frt.InitialStates(g.N()), g.N())
+	mod := semiring.DistMapModule{}
+	for v := range msgLists {
+		if !mod.Equal(msgLists[v], iterLists[v]) {
+			t.Fatalf("node %d: message %v ≠ iteration %v", v, msgLists[v], iterLists[v])
+		}
+	}
+}
+
+func TestMessageNetworkQuiesces(t *testing.T) {
+	rng := par.NewRNG(3)
+	g := graph.PathGraph(50, 1)
+	order := frt.NewOrder(g.N(), rng)
+	net := NewMessageNetwork(g, order)
+	net.Run(g.N() * g.N())
+	if !net.Quiescent() {
+		t.Fatal("network did not quiesce")
+	}
+	// After quiescence, another step must be a no-op.
+	if net.Step() {
+		t.Fatal("quiescent network sent messages")
+	}
+}
+
+func TestMessageRoundsTrackEstimate(t *testing.T) {
+	// The message-level rounds and the list-size estimate of Khan() must
+	// agree in order of magnitude: both are Θ(SPD · list length).
+	rng := par.NewRNG(4)
+	g := graph.PathGraph(120, 1)
+	order := frt.NewOrder(g.N(), rng)
+	lists, rounds := MessageKhan(g, order)
+	// Information must travel at least as far as the farthest LE entry of
+	// any node — on a path that hop distance is |v − w|.
+	radius := 0
+	for v, l := range lists {
+		for _, e := range l {
+			if d := int(e.Node) - v; d > radius {
+				radius = d
+			} else if -d > radius {
+				radius = -d
+			}
+		}
+	}
+	if rounds < radius {
+		t.Fatalf("message rounds %d below information radius %d — impossible", rounds, radius)
+	}
+	estimate := Khan(g, par.NewRNG(4)).Rounds
+	if rounds > 20*estimate || estimate > 20*rounds {
+		t.Fatalf("message rounds %d and estimate %d differ by more than 20×", rounds, estimate)
+	}
+}
+
+func TestMessageCongestionBounded(t *testing.T) {
+	// Outboxes hold at most O(list length) pending entries: congestion
+	// stays logarithmic, which is what makes the O(log n)-rounds-per-
+	// iteration accounting honest.
+	rng := par.NewRNG(5)
+	g := graph.RandomConnected(100, 300, 6, rng)
+	order := frt.NewOrder(g.N(), rng)
+	net := NewMessageNetwork(g, order)
+	worstQueue := 0
+	for net.Step() {
+		if q := net.MaxQueueLength(); q > worstQueue {
+			worstQueue = q
+		}
+	}
+	if worstQueue > 60 {
+		t.Fatalf("queue length %d implausibly large for n=100", worstQueue)
+	}
+}
+
+func TestMessageCountsPositive(t *testing.T) {
+	rng := par.NewRNG(6)
+	g := graph.CycleGraph(20, 1)
+	order := frt.NewOrder(g.N(), rng)
+	net := NewMessageNetwork(g, order)
+	net.Run(1000)
+	if net.Messages <= 0 || net.Rounds <= 0 {
+		t.Fatal("counters not tracked")
+	}
+	if net.Messages < net.Rounds {
+		t.Fatal("fewer messages than rounds")
+	}
+}

@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var quick = Config{Seed: 1, Quick: true}
+
+// parse pulls a float out of a table cell (tolerating suffixes like "×").
+func parse(t *testing.T, cell string) float64 {
+	cell = strings.TrimSuffix(cell, "×")
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		t.Fatalf("cell %q not numeric: %v", cell, err)
+	}
+	return v
+}
+
+func checkShape(t *testing.T, tb *Table) {
+	if tb.ID == "" || tb.Title == "" || tb.PaperClaim == "" {
+		t.Fatalf("table %q missing metadata", tb.ID)
+	}
+	if len(tb.Rows) == 0 {
+		t.Fatalf("%s: no rows", tb.ID)
+	}
+	for _, r := range tb.Rows {
+		if len(r) != len(tb.Header) {
+			t.Fatalf("%s: row %v does not match header %v", tb.ID, r, tb.Header)
+		}
+	}
+	if !strings.Contains(tb.Format(), tb.ID) {
+		t.Fatalf("%s: Format misses the ID", tb.ID)
+	}
+}
+
+func TestE1StretchQuick(t *testing.T) {
+	tb := E1Stretch(quick)
+	checkShape(t, tb)
+	for _, r := range tb.Rows {
+		if min := parse(t, r[6]); min < 1-1e-9 {
+			t.Fatalf("dominance violated in %v", r)
+		}
+		if norm := parse(t, r[5]); norm > 8 {
+			t.Fatalf("stretch/ln n = %v implausible in %v", norm, r)
+		}
+	}
+}
+
+func TestE2SPDHQuick(t *testing.T) {
+	tb := E2SPDH(quick)
+	checkShape(t, tb)
+	for _, r := range tb.Rows {
+		spdG := parse(t, r[2])
+		spdH := parse(t, r[3])
+		if spdH >= spdG {
+			t.Fatalf("SPD(H) did not improve in %v", r)
+		}
+	}
+}
+
+func TestE3HStretchQuick(t *testing.T) {
+	tb := E3HStretch(quick)
+	checkShape(t, tb)
+	for _, r := range tb.Rows {
+		bound, maxR, minR := parse(t, r[4]), parse(t, r[5]), parse(t, r[6])
+		if minR < 1-1e-9 || maxR > bound+1e-6 {
+			t.Fatalf("H distance band violated in %v", r)
+		}
+	}
+}
+
+func TestE4LEListsQuick(t *testing.T) {
+	tb := E4LELists(quick)
+	checkShape(t, tb)
+	for _, r := range tb.Rows {
+		if ratio := parse(t, r[4]); ratio > 8 {
+			t.Fatalf("LE length / ln n = %v implausible", ratio)
+		}
+	}
+}
+
+func TestE5WorkQuick(t *testing.T) {
+	tb := E5Work(quick)
+	checkShape(t, tb)
+}
+
+func TestE6HopSetQuick(t *testing.T) {
+	tb := E6HopSet(quick)
+	checkShape(t, tb)
+	for _, r := range tb.Rows {
+		if minR := parse(t, r[5]); minR < 1-1e-9 {
+			t.Fatalf("hop set shortened distances in %v", r)
+		}
+		if r[0] == "skeleton" {
+			if maxR := parse(t, r[4]); maxR > 1+1e-9 {
+				t.Fatalf("skeleton hop set inexact in %v", r)
+			}
+		}
+	}
+}
+
+func TestE7MetricQuick(t *testing.T) {
+	tb := E7Metric(quick)
+	checkShape(t, tb)
+	for _, r := range tb.Rows {
+		if r[5] != "true" {
+			t.Fatalf("approximate metric not a metric in %v", r)
+		}
+		if parse(t, r[4]) > parse(t, r[3])+1e-6 {
+			t.Fatalf("observed ratio exceeds guarantee in %v", r)
+		}
+	}
+}
+
+func TestE8SpannerQuick(t *testing.T) {
+	tb := E8Spanner(quick)
+	checkShape(t, tb)
+	for _, r := range tb.Rows {
+		if parse(t, r[5]) > parse(t, r[6])+1e-9 {
+			t.Fatalf("spanner stretch exceeds bound in %v", r)
+		}
+	}
+}
+
+func TestE9CongestQuick(t *testing.T) {
+	tb := E9Congest(quick)
+	checkShape(t, tb)
+	if tb.Rows[0][6] != "skeleton" {
+		t.Fatalf("skeleton did not win on starPath: %v", tb.Rows[0])
+	}
+	if tb.Rows[1][6] != "khan" {
+		t.Fatalf("khan did not win on the random graph: %v", tb.Rows[1])
+	}
+}
+
+func TestE10ZooQuick(t *testing.T) {
+	tb := E10Zoo(quick)
+	checkShape(t, tb)
+	// Filtered rows must use a fraction of APSP's work.
+	for _, r := range tb.Rows[1:3] {
+		if parse(t, r[3]) > 0.7 {
+			t.Fatalf("filtered variant not cheaper in %v", r)
+		}
+	}
+}
+
+func TestE11KMedianQuick(t *testing.T) {
+	tb := E11KMedian(quick)
+	checkShape(t, tb)
+	if ratio := parse(t, tb.Rows[0][5]); ratio < 1-1e-9 || ratio > 6 {
+		t.Fatalf("k-median ratio %v outside [1, 6]", ratio)
+	}
+}
+
+func TestE12BuyAtBulkQuick(t *testing.T) {
+	tb := E12BuyAtBulk(quick)
+	checkShape(t, tb)
+	for _, r := range tb.Rows {
+		if parse(t, r[6]) < 1-1e-9 {
+			t.Fatalf("solution beat the lower bound in %v", r)
+		}
+	}
+}
+
+func TestA1FilteringQuick(t *testing.T) {
+	tb := A1Filtering(quick)
+	checkShape(t, tb)
+	if tb.Rows[0][6] != "true" {
+		t.Fatal("filtering changed the output")
+	}
+}
+
+func TestA2LevelPenaltyQuick(t *testing.T) {
+	tb := A2LevelPenalty(quick)
+	checkShape(t, tb)
+}
+
+func TestA3HopSetChoiceQuick(t *testing.T) {
+	tb := A3HopSetChoice(quick)
+	checkShape(t, tb)
+}
+
+func TestA4SpannerPreQuick(t *testing.T) {
+	tb := A4SpannerPre(quick)
+	checkShape(t, tb)
+	direct := parse(t, tb.Rows[0][2])
+	sparse := parse(t, tb.Rows[1][2])
+	if sparse >= direct {
+		t.Fatal("spanner preprocessing did not reduce the edge count")
+	}
+}
+
+func TestX1SteinerQuick(t *testing.T) {
+	tb := X1Steiner(quick)
+	checkShape(t, tb)
+	for _, r := range tb.Rows {
+		via, lb := parse(t, r[3]), parse(t, r[5])
+		if via < lb-1e-9 {
+			t.Fatalf("embedding solution beat the lower bound in %v", r)
+		}
+		if via > 12*lb {
+			t.Fatalf("ratio implausible in %v", r)
+		}
+	}
+}

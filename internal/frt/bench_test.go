@@ -1,0 +1,76 @@
+package frt
+
+import (
+	"testing"
+
+	"parmbf/internal/graph"
+	"parmbf/internal/par"
+	"parmbf/internal/semiring"
+)
+
+func BenchmarkLEListsOnGraph(b *testing.B) {
+	rng := par.NewRNG(1)
+	g := graph.RandomConnected(512, 2048, 8, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		order := NewOrder(g.N(), rng)
+		LEListsOnGraph(g, order, nil)
+	}
+}
+
+func BenchmarkLEListsFromMetric(b *testing.B) {
+	rng := par.NewRNG(2)
+	g := graph.RandomConnected(256, 1024, 8, rng)
+	m := graph.APSPDijkstra(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		order := NewOrder(m.N, rng)
+		LEListsFromMetric(m, order, nil)
+	}
+}
+
+func BenchmarkLEFilter(b *testing.B) {
+	rng := par.NewRNG(3)
+	order := NewOrder(256, rng)
+	filter := order.Filter()
+	// A worst-case-ish unfiltered state: 64 entries with random distances.
+	input := make(semiring.DistMap, 0, 64)
+	for node := semiring.NodeID(0); node < 256; node += 4 {
+		input = append(input, semiring.Entry{Node: node, Dist: float64(rng.Intn(1000))})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		filter(input)
+	}
+}
+
+func BenchmarkBuildTree(b *testing.B) {
+	rng := par.NewRNG(4)
+	g := graph.RandomConnected(512, 2048, 8, rng)
+	order := NewOrder(g.N(), rng)
+	lists, _ := LEListsOnGraph(g, order, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildTree(lists, order, 1.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTreeDist(b *testing.B) {
+	rng := par.NewRNG(5)
+	g := graph.RandomConnected(512, 2048, 8, rng)
+	emb, err := SampleOnGraph(g, rng, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		emb.Tree.Dist(graph.Node(i%512), graph.Node((i*7)%512))
+	}
+}

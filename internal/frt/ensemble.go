@@ -1,0 +1,107 @@
+package frt
+
+import (
+	"fmt"
+	"sort"
+
+	"parmbf/internal/graph"
+	"parmbf/internal/par"
+)
+
+// Ensemble is a collection of independent FRT embeddings of one graph, the
+// form in which tree embeddings are consumed by approximation algorithms:
+// each tree over-estimates every distance, the expectation of each estimate
+// is O(log n)·dist, and taking the minimum over Θ(log(1/ε)) trees yields an
+// O(log n)-approximation with probability 1−ε (§1 of the paper: "repeating
+// the process log(ε⁻¹) times and taking the best result").
+//
+// An Ensemble doubles as a one-sided approximate distance oracle: Min never
+// under-estimates, queries cost O(trees · tree depth), and no Θ(n²) metric
+// is ever stored.
+type Ensemble struct {
+	Trees []*Tree
+}
+
+// SampleEnsemble draws `count` independent embeddings via sampler.
+func SampleEnsemble(count int, sampler func() (*Embedding, error)) (*Ensemble, error) {
+	if count < 1 {
+		return nil, fmt.Errorf("frt: ensemble needs ≥ 1 tree")
+	}
+	e := &Ensemble{Trees: make([]*Tree, 0, count)}
+	for i := 0; i < count; i++ {
+		emb, err := sampler()
+		if err != nil {
+			return nil, err
+		}
+		e.Trees = append(e.Trees, emb.Tree)
+	}
+	return e, nil
+}
+
+// Min returns the smallest tree distance over the ensemble — an upper bound
+// on dist(u, v, G) that tightens as trees are added.
+func (e *Ensemble) Min(u, v graph.Node) float64 {
+	best := e.Trees[0].Dist(u, v)
+	for _, t := range e.Trees[1:] {
+		if d := t.Dist(u, v); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// Median returns the median tree distance — a robust estimate of the
+// typical O(log n)-stretched distance.
+func (e *Ensemble) Median(u, v graph.Node) float64 {
+	ds := make([]float64, len(e.Trees))
+	for i, t := range e.Trees {
+		ds[i] = t.Dist(u, v)
+	}
+	sort.Float64s(ds)
+	mid := len(ds) / 2
+	if len(ds)%2 == 1 {
+		return ds[mid]
+	}
+	return (ds[mid-1] + ds[mid]) / 2
+}
+
+// EnsembleStats summarises ensemble quality on random pairs.
+type EnsembleStats struct {
+	Pairs int
+	// AvgMinStretch is the mean of Min(u,v)/dist(u,v): the oracle's typical
+	// over-estimation factor.
+	AvgMinStretch float64
+	// MaxMinStretch is its worst case over the sampled pairs.
+	MaxMinStretch float64
+	// DominanceOK reports whether Min never under-estimated.
+	DominanceOK bool
+}
+
+// Evaluate measures the ensemble's Min estimator against exact distances on
+// `pairs` random pairs.
+func (e *Ensemble) Evaluate(g *graph.Graph, pairs int, rng *par.RNG) EnsembleStats {
+	n := g.N()
+	stats := EnsembleStats{DominanceOK: true}
+	for i := 0; i < pairs; i++ {
+		u := graph.Node(rng.Intn(n))
+		v := graph.Node(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		exact := graph.Dijkstra(g, u).Dist[v]
+		est := e.Min(u, v)
+		ratio := est / exact
+		if ratio < 1-1e-9 {
+			stats.DominanceOK = false
+		}
+		stats.AvgMinStretch += ratio
+		if ratio > stats.MaxMinStretch {
+			stats.MaxMinStretch = ratio
+		}
+		stats.Pairs++
+	}
+	if stats.Pairs > 0 {
+		stats.AvgMinStretch /= float64(stats.Pairs)
+	}
+	return stats
+}

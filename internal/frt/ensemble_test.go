@@ -1,0 +1,107 @@
+package frt
+
+import (
+	"testing"
+
+	"parmbf/internal/graph"
+	"parmbf/internal/par"
+)
+
+func TestEnsembleMinImprovesWithTrees(t *testing.T) {
+	rng := par.NewRNG(1)
+	g := graph.RandomConnected(50, 120, 6, rng)
+	sampler := func() (*Embedding, error) { return SampleOnGraph(g, rng, nil) }
+	small, err := SampleEnsemble(1, sampler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := SampleEnsemble(8, sampler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evalRng := par.NewRNG(2)
+	s1 := small.Evaluate(g, 40, evalRng)
+	evalRng = par.NewRNG(2)
+	s8 := big.Evaluate(g, 40, evalRng)
+	if !s1.DominanceOK || !s8.DominanceOK {
+		t.Fatal("ensemble under-estimated a distance")
+	}
+	if s8.AvgMinStretch >= s1.AvgMinStretch {
+		t.Fatalf("8 trees (%.2f) did not improve over 1 tree (%.2f)", s8.AvgMinStretch, s1.AvgMinStretch)
+	}
+}
+
+func TestEnsembleMinIsMinimum(t *testing.T) {
+	rng := par.NewRNG(3)
+	g := graph.GridGraph(5, 5, 3, rng)
+	e, err := SampleEnsemble(4, func() (*Embedding, error) { return SampleOnGraph(g, rng, nil) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := graph.Node(0); u < 10; u++ {
+		for v := u + 1; v < 10; v++ {
+			min := e.Min(u, v)
+			for _, tr := range e.Trees {
+				if tr.Dist(u, v) < min {
+					t.Fatal("Min is not the minimum")
+				}
+			}
+			med := e.Median(u, v)
+			if med < min {
+				t.Fatal("median below minimum")
+			}
+		}
+	}
+}
+
+func TestEnsembleMedianEvenOdd(t *testing.T) {
+	rng := par.NewRNG(4)
+	g := graph.PathGraph(10, 1)
+	for _, count := range []int{3, 4} {
+		e, err := SampleEnsemble(count, func() (*Embedding, error) { return SampleOnGraph(g, rng, nil) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := e.Median(0, 9)
+		lo, hi := e.Trees[0].Dist(0, 9), e.Trees[0].Dist(0, 9)
+		for _, tr := range e.Trees {
+			d := tr.Dist(0, 9)
+			if d < lo {
+				lo = d
+			}
+			if d > hi {
+				hi = d
+			}
+		}
+		if m < lo || m > hi {
+			t.Fatalf("median %v outside [%v, %v]", m, lo, hi)
+		}
+	}
+}
+
+func TestEnsembleRejectsZeroCount(t *testing.T) {
+	if _, err := SampleEnsemble(0, nil); err == nil {
+		t.Fatal("count 0 accepted")
+	}
+}
+
+func TestEnsemblePropagatesSamplerError(t *testing.T) {
+	g := graph.PathGraph(3, 1)
+	calls := 0
+	_, err := SampleEnsemble(3, func() (*Embedding, error) {
+		calls++
+		if calls == 2 {
+			return nil, errTest
+		}
+		return SampleOnGraph(g, par.NewRNG(1), nil)
+	})
+	if err != errTest {
+		t.Fatalf("sampler error not propagated: %v", err)
+	}
+}
+
+var errTest = &testError{}
+
+type testError struct{}
+
+func (*testError) Error() string { return "test error" }

@@ -1,0 +1,184 @@
+package frt
+
+import (
+	"fmt"
+
+	"parmbf/internal/graph"
+	"parmbf/internal/hopset"
+	"parmbf/internal/par"
+	"parmbf/internal/semiring"
+	"parmbf/internal/simgraph"
+)
+
+// HopSetKind selects the hop-set construction of the sampling pipeline
+// (ablation A3).
+type HopSetKind int
+
+const (
+	// HopSetSkeleton uses the exact skeleton hop set (the default).
+	HopSetSkeleton HopSetKind = iota
+	// HopSetLandmark uses the 2-hop landmark hop set.
+	HopSetLandmark
+	// HopSetNone runs on the raw graph (d = n−1): correct but with depth
+	// Θ(SPD(G)·polylog) — the ablation baseline.
+	HopSetNone
+)
+
+// Options configures Sample.
+type Options struct {
+	// RNG is the randomness source (required).
+	RNG *par.RNG
+	// HopSet selects the hop-set stage.
+	HopSet HopSetKind
+	// LandmarkCount is the landmark budget for HopSetLandmark; 0 selects
+	// 2·⌈log₂ n⌉.
+	LandmarkCount int
+	// EpsHat is the level-penalty base of H; 0 selects the default
+	// 1/⌈log₂ n⌉².
+	EpsHat float64
+	// Tracker, if non-nil, is charged all work/depth.
+	Tracker *par.Tracker
+}
+
+// Embedding is one sample from the FRT distribution of a graph.
+type Embedding struct {
+	// Tree is the sampled metric tree embedding.
+	Tree *Tree
+	// Order is the random node order used.
+	Order *Order
+	// Beta is the random scale β.
+	Beta float64
+	// LELists are the per-node LE lists w.r.t. the distances the tree was
+	// built on (dist_H in the oracle pipeline, exact distances in the
+	// baselines).
+	LELists []semiring.DistMap
+	// H is the simulated graph, when the oracle pipeline was used (nil in
+	// the baselines).
+	H *simgraph.H
+	// Iterations is the number of (oracle) iterations until the LE-list
+	// fixpoint.
+	Iterations int
+}
+
+// Sample draws one tree from the FRT distribution of g using the full
+// pipeline of Theorem 7.9: hop set → simulated graph H → LE lists through
+// the MBF-like oracle → tree assembly. The expected stretch is
+// O(α^{O(log n)} · log n) where α = 1+ε̂ accounts for H's distance slack —
+// O(log n) for the default parameters (Corollary 7.10 with the hop-set
+// substitution recorded in DESIGN.md).
+func Sample(g *graph.Graph, opts Options) (*Embedding, error) {
+	if opts.RNG == nil {
+		return nil, fmt.Errorf("frt: Options.RNG is required")
+	}
+	n := g.N()
+	if n == 0 {
+		return nil, fmt.Errorf("frt: empty graph")
+	}
+
+	var hs *hopset.Result
+	switch opts.HopSet {
+	case HopSetSkeleton:
+		hs = hopset.DefaultSkeleton(g, opts.RNG, opts.Tracker)
+	case HopSetLandmark:
+		count := opts.LandmarkCount
+		if count <= 0 {
+			count = 2 * ceilLog2(n)
+		}
+		hs = hopset.Landmark(g, count, opts.RNG, opts.Tracker)
+	case HopSetNone:
+		hs = hopset.None(g)
+	default:
+		return nil, fmt.Errorf("frt: unknown hop set kind %d", opts.HopSet)
+	}
+
+	h := simgraph.Build(hs, opts.EpsHat, opts.RNG)
+	order := NewOrder(n, opts.RNG)
+	beta := RandomBeta(opts.RNG)
+
+	oracle := simgraph.NewOracle(h, opts.Tracker)
+	lists, iters := oracle.RunToFixpoint(InitialStates(n), order.Filter(), simgraph.MaxIters(n))
+
+	tree, err := BuildTree(lists, order, beta)
+	if err != nil {
+		return nil, err
+	}
+	return &Embedding{
+		Tree:       tree,
+		Order:      order,
+		Beta:       beta,
+		LELists:    lists,
+		H:          h,
+		Iterations: iters,
+	}, nil
+}
+
+// SampleOnGraph draws one FRT tree by computing LE lists directly on g — the
+// parallel form of the Khan et al. algorithm (§8.1), with depth Θ(SPD(G))
+// instead of polylog. The trees are drawn from the FRT distribution of g's
+// exact metric.
+func SampleOnGraph(g *graph.Graph, rng *par.RNG, tracker *par.Tracker) (*Embedding, error) {
+	n := g.N()
+	order := NewOrder(n, rng)
+	beta := RandomBeta(rng)
+	lists, iters := LEListsOnGraph(g, order, tracker)
+	tree, err := BuildTree(lists, order, beta)
+	if err != nil {
+		return nil, err
+	}
+	return &Embedding{Tree: tree, Order: order, Beta: beta, LELists: lists, Iterations: iters}, nil
+}
+
+// SampleFromMetric draws one FRT tree from an explicit metric — the input
+// model of Blelloch et al. [10] (Θ(n²) work by reading the metric once).
+func SampleFromMetric(m *graph.Matrix, rng *par.RNG, tracker *par.Tracker) (*Embedding, error) {
+	order := NewOrder(m.N, rng)
+	beta := RandomBeta(rng)
+	lists := LEListsFromMetric(m, order, tracker)
+	tree, err := BuildTree(lists, order, beta)
+	if err != nil {
+		return nil, err
+	}
+	return &Embedding{Tree: tree, Order: order, Beta: beta, LELists: lists, Iterations: 1}, nil
+}
+
+// SampleExact draws one FRT tree of g's exact metric by solving APSP with
+// Dijkstra first — the quadratic-work baseline of experiment E5.
+func SampleExact(g *graph.Graph, rng *par.RNG, tracker *par.Tracker) (*Embedding, error) {
+	m := graph.APSPDijkstra(g)
+	tracker.AddPhase(int64(g.N())*int64(g.M()+g.N()), int64(graph.SPDFrom(g, 0)+1))
+	return SampleFromMetric(m, rng, tracker)
+}
+
+// EdgePath maps a tree edge (child cluster → its parent) back to a path in
+// g between the two cluster centers (§7.5). The path is a shortest path in
+// g; any common member v of the two clusters has dist(v, c_child) ≤ r_i and
+// dist(v, c_parent) ≤ r_{i+1}, so the path weight is at most r_i + r_{i+1} =
+// 3·β2^i = 1.5·EdgeWeight — the paper's factor-3 bound relative to its
+// undoubled edge weight β2^i.
+func EdgePath(g *graph.Graph, t *Tree, child int32) ([]graph.Node, error) {
+	p := t.Parent[child]
+	if p == -1 {
+		return nil, fmt.Errorf("frt: root has no parent edge")
+	}
+	from, to := t.Center[child], t.Center[p]
+	if from == to {
+		return []graph.Node{from}, nil
+	}
+	res := graph.Dijkstra(g, from)
+	path := res.PathTo(to)
+	if path == nil {
+		return nil, fmt.Errorf("frt: centers %d and %d disconnected in G", from, to)
+	}
+	return path, nil
+}
+
+func ceilLog2(n int) int {
+	l := 0
+	for v := 1; v < n; v *= 2 {
+		l++
+	}
+	if l == 0 {
+		l = 1
+	}
+	return l
+}

@@ -1,0 +1,92 @@
+package frt
+
+import (
+	"fmt"
+	"math"
+
+	"parmbf/internal/graph"
+	"parmbf/internal/par"
+)
+
+// StretchStats summarises a stretch measurement of a tree-embedding sampler
+// against the exact metric of a graph (experiment E1; Definition 7.1).
+type StretchStats struct {
+	// Pairs is the number of node pairs evaluated.
+	Pairs int
+	// Trees is the number of independent embeddings sampled.
+	Trees int
+	// AvgStretch is the mean over pairs of the empirical expected stretch
+	// E[dist_T(u,v)] / dist_G(u,v).
+	AvgStretch float64
+	// MaxAvgStretch is the maximum over pairs of the empirical expected
+	// stretch — the quantity the O(log n) bound of [19] speaks about.
+	MaxAvgStretch float64
+	// MaxStretch is the worst single-tree stretch observed (may be large:
+	// only the expectation is bounded).
+	MaxStretch float64
+	// MinRatio is the smallest observed dist_T/dist_G. Definition 7.1
+	// requires it to be ≥ 1 (after discounting H's (1+o(1)) slack the
+	// pipeline still guarantees dist_T ≥ dist_H ≥ dist_G).
+	MinRatio float64
+}
+
+// MeasureStretch samples `trees` embeddings from sampler and evaluates them
+// on `pairs` random node pairs of g against exact distances.
+func MeasureStretch(g *graph.Graph, sampler func() (*Embedding, error), trees, pairs int, rng *par.RNG) (StretchStats, error) {
+	n := g.N()
+	if n < 2 {
+		return StretchStats{}, fmt.Errorf("frt: need ≥ 2 nodes")
+	}
+	type pair struct {
+		u, v graph.Node
+		d    float64
+	}
+	ps := make([]pair, 0, pairs)
+	for len(ps) < pairs {
+		u := graph.Node(rng.Intn(n))
+		v := graph.Node(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		ps = append(ps, pair{u: u, v: v})
+	}
+	// Exact distances, one Dijkstra per distinct source.
+	bySource := map[graph.Node][]int{}
+	for i, p := range ps {
+		bySource[p.u] = append(bySource[p.u], i)
+	}
+	for src, idxs := range bySource {
+		res := graph.Dijkstra(g, src)
+		for _, i := range idxs {
+			ps[i].d = res.Dist[ps[i].v]
+		}
+	}
+
+	sum := make([]float64, len(ps))
+	stats := StretchStats{Pairs: len(ps), Trees: trees, MinRatio: math.Inf(1)}
+	for t := 0; t < trees; t++ {
+		emb, err := sampler()
+		if err != nil {
+			return stats, err
+		}
+		for i, p := range ps {
+			ratio := emb.Tree.Dist(p.u, p.v) / p.d
+			sum[i] += ratio
+			if ratio > stats.MaxStretch {
+				stats.MaxStretch = ratio
+			}
+			if ratio < stats.MinRatio {
+				stats.MinRatio = ratio
+			}
+		}
+	}
+	for _, s := range sum {
+		avg := s / float64(trees)
+		stats.AvgStretch += avg
+		if avg > stats.MaxAvgStretch {
+			stats.MaxAvgStretch = avg
+		}
+	}
+	stats.AvgStretch /= float64(len(ps))
+	return stats, nil
+}

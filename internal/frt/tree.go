@@ -1,0 +1,258 @@
+package frt
+
+import (
+	"fmt"
+	"math"
+
+	"parmbf/internal/graph"
+	"parmbf/internal/par"
+	"parmbf/internal/semiring"
+)
+
+// Tree is a sampled FRT tree: a hierarchy of clusters whose leaves are the
+// graph nodes (§7.1 step 4). Tree nodes are dense integers; index 0 is the
+// root.
+//
+// Every leaf sits at the same depth. The edge connecting a level-i cluster
+// to its level-(i+1) parent has weight 2·β·2^i — twice the paper's β2^i.
+// The doubling is a deliberate implementation choice: with edge weight
+// exactly β2^i, dominance dist_T ≥ dist_H can be violated by an additive
+// O(β·2^imin) term at the truncated bottom of the hierarchy, whereas with
+// the doubled weights dominance holds unconditionally (if u, v first differ
+// at level i they share a center at level i+1, so dist_H(u,v) ≤ 2β2^{i+1},
+// while dist_T(u,v) = 2·Σ_{j≤i} 2β2^j = 4β(2^{i+1}−2^imin) ≥ 2β2^{i+1}).
+// It costs only a factor 2 in the upper bound, so the expected stretch
+// remains O(log n).
+type Tree struct {
+	// Parent[t] is the parent tree node of t, or -1 for the root.
+	Parent []int32
+	// EdgeWeight[t] is the weight of the edge from t to its parent (0 for
+	// the root).
+	EdgeWeight []float64
+	// Center[t] is the "leading" graph node of the cluster, i.e. v_i of the
+	// suffix (v_i, …, v_k) the tree node represents (§7.5 identifies tree
+	// nodes with their leading nodes for path reconstruction).
+	Center []graph.Node
+	// Level[t] is the level index i of the cluster (imin ≤ i ≤ imax).
+	Level []int32
+	// Leaf[v] is the leaf tree node of graph node v.
+	Leaf []int32
+	// Beta is the random scale β ∈ [1, 2) the tree was drawn with.
+	Beta float64
+}
+
+// NumNodes returns the number of tree nodes.
+func (t *Tree) NumNodes() int { return len(t.Parent) }
+
+// Depth returns the number of levels from leaf to root (every leaf has the
+// same depth).
+func (t *Tree) Depth() int {
+	d := 0
+	for u := t.Leaf[0]; u != -1; u = t.Parent[u] {
+		d++
+	}
+	return d - 1
+}
+
+// Dist returns the tree distance between the leaves of graph nodes u and v:
+// the weight of the unique tree path between them. Both leaves are at equal
+// depth, so the walk climbs in lockstep until the paths merge.
+func (t *Tree) Dist(u, v graph.Node) float64 {
+	if u == v {
+		return 0
+	}
+	a, b := t.Leaf[u], t.Leaf[v]
+	total := 0.0
+	for a != b {
+		total += t.EdgeWeight[a] + t.EdgeWeight[b]
+		a, b = t.Parent[a], t.Parent[b]
+		if a == -1 || b == -1 {
+			panic("frt: leaves at unequal depth")
+		}
+	}
+	return total
+}
+
+// PathToRoot returns the tree nodes from v's leaf up to the root.
+func (t *Tree) PathToRoot(v graph.Node) []int32 {
+	var out []int32
+	for u := t.Leaf[v]; u != -1; u = t.Parent[u] {
+		out = append(out, u)
+	}
+	return out
+}
+
+// Validate checks the structural invariants of the tree: a single root,
+// acyclic parent pointers, leaves at uniform depth, positive edge weights,
+// and centers consistent with levels. It returns nil if all hold.
+func (t *Tree) Validate() error {
+	n := len(t.Leaf)
+	if t.NumNodes() == 0 {
+		return fmt.Errorf("empty tree")
+	}
+	roots := 0
+	for u, p := range t.Parent {
+		if p == -1 {
+			roots++
+			if t.EdgeWeight[u] != 0 {
+				return fmt.Errorf("root with non-zero edge weight")
+			}
+			continue
+		}
+		if t.EdgeWeight[u] <= 0 {
+			return fmt.Errorf("tree node %d: non-positive edge weight %v", u, t.EdgeWeight[u])
+		}
+		if t.Level[p] != t.Level[u]+1 {
+			return fmt.Errorf("tree node %d: level %d but parent level %d", u, t.Level[u], t.Level[p])
+		}
+	}
+	if roots != 1 {
+		return fmt.Errorf("%d roots, want 1", roots)
+	}
+	depth := -1
+	for v := 0; v < n; v++ {
+		d := 0
+		for u := t.Leaf[v]; u != -1; u = t.Parent[u] {
+			d++
+			if d > t.NumNodes() {
+				return fmt.Errorf("cycle in parent pointers")
+			}
+		}
+		if depth == -1 {
+			depth = d
+		} else if d != depth {
+			return fmt.Errorf("leaf depths differ: %d vs %d", d, depth)
+		}
+		if t.Center[t.Leaf[v]] != graph.Node(v) {
+			return fmt.Errorf("leaf of %d has center %d", v, t.Center[t.Leaf[v]])
+		}
+	}
+	return nil
+}
+
+// BuildTree assembles the FRT tree from LE lists (Lemma 7.2). lists[v] must
+// be the complete LE list of node v w.r.t. a distance function on which the
+// construction is to be performed (the distances of H in the main pipeline),
+// ordered arbitrarily; beta is the random scale β ∈ [1, 2).
+//
+// For each level i with radius r_i = β·2^i, node v's level-i center is
+// v_i = min{w | dist(v,w) ≤ r_i} — readable directly off the LE list, since
+// LE entries by increasing distance have strictly decreasing ranks. The
+// level range [imin, imax] is chosen so that r_imin is below the smallest
+// non-zero LE distance (leaf clusters are singletons) and r_imax reaches
+// every node's final LE entry (a single root, centered at the rank-0 node).
+func BuildTree(lists []semiring.DistMap, order *Order, beta float64) (*Tree, error) {
+	n := len(lists)
+	if n == 0 {
+		return nil, fmt.Errorf("frt: no LE lists")
+	}
+	if beta < 1 || beta >= 2 {
+		return nil, fmt.Errorf("frt: beta %v outside [1,2)", beta)
+	}
+	sorted := make([]semiring.DistMap, n)
+	dmin, dmax := semiring.Inf, 0.0
+	for v, l := range lists {
+		if len(l) == 0 {
+			return nil, fmt.Errorf("frt: empty LE list at node %d", v)
+		}
+		s := SortByDist(l)
+		if s[0].Node != graph.Node(v) || s[0].Dist != 0 {
+			return nil, fmt.Errorf("frt: LE list of %d lacks self at distance 0", v)
+		}
+		sorted[v] = s
+		if len(s) > 1 && s[1].Dist < dmin {
+			dmin = s[1].Dist
+		}
+		if last := s[len(s)-1].Dist; last > dmax {
+			dmax = last
+		}
+	}
+	if semiring.IsInf(dmin) {
+		dmin = 1 // single-node graph: any scale works
+	}
+	if dmax <= 0 {
+		dmax = dmin
+	}
+	// r_i = beta * 2^i. Choose imin with r_imin < dmin and imax with
+	// r_imax ≥ dmax.
+	imin := int(math.Floor(math.Log2(dmin / beta)))
+	for beta*math.Pow(2, float64(imin)) >= dmin {
+		imin--
+	}
+	imax := int(math.Ceil(math.Log2(dmax / beta)))
+	for beta*math.Pow(2, float64(imax)) < dmax {
+		imax++
+	}
+
+	// center(v, i) = last LE entry with distance ≤ r_i.
+	center := func(v int, i int) graph.Node {
+		r := beta * math.Pow(2, float64(i))
+		s := sorted[v]
+		best := s[0].Node
+		for _, e := range s {
+			if e.Dist <= r {
+				best = e.Node
+			} else {
+				break
+			}
+		}
+		return best
+	}
+
+	tree := &Tree{Beta: beta, Leaf: make([]int32, n)}
+	addNode := func(parent int32, c graph.Node, level int, w float64) int32 {
+		id := int32(len(tree.Parent))
+		tree.Parent = append(tree.Parent, parent)
+		tree.EdgeWeight = append(tree.EdgeWeight, w)
+		tree.Center = append(tree.Center, c)
+		tree.Level = append(tree.Level, int32(level))
+		return id
+	}
+
+	// Root: all nodes share the center at level imax (the rank-0 node).
+	rootCenter := center(0, imax)
+	for v := 1; v < n; v++ {
+		if center(v, imax) != rootCenter {
+			return nil, fmt.Errorf("frt: no common root at level %d", imax)
+		}
+	}
+	root := addNode(-1, rootCenter, imax, 0)
+
+	// Sweep levels top-down, splitting each cluster by its members' centers.
+	cur := make([]int32, n)
+	for v := range cur {
+		cur[v] = root
+	}
+	type key struct {
+		parent int32
+		center graph.Node
+	}
+	for i := imax - 1; i >= imin; i-- {
+		ids := make(map[key]int32)
+		w := 2 * beta * math.Pow(2, float64(i)) // doubled weight; see Tree doc
+		for v := 0; v < n; v++ {
+			k := key{parent: cur[v], center: center(v, i)}
+			id, ok := ids[k]
+			if !ok {
+				id = addNode(k.parent, k.center, i, w)
+				ids[k] = id
+			}
+			cur[v] = id
+		}
+	}
+	for v := 0; v < n; v++ {
+		tree.Leaf[v] = cur[v]
+		if tree.Center[cur[v]] != graph.Node(v) {
+			return nil, fmt.Errorf("frt: leaf cluster of %d centered at %d — imin not below minimum distance", v, tree.Center[cur[v]])
+		}
+	}
+	return tree, nil
+}
+
+// RandomBeta draws β ∈ [1, 2) from the FRT distribution (§7.1 step 1):
+// density 1/(β ln 2), realised as β = 2^U with U uniform in [0, 1). This is
+// the scale distribution the O(log n) expected-stretch analysis of [19]
+// assumes.
+func RandomBeta(rng *par.RNG) float64 {
+	return math.Pow(2, rng.Float64())
+}

@@ -1,0 +1,151 @@
+package frt
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"parmbf/internal/graph"
+)
+
+// This file provides tree export: serialisation to a plain-text format and
+// conversion to an explicit weighted graph. The text format is
+//
+//	t <numTreeNodes> <numLeaves> <beta>
+//	n <id> <parent> <level> <center> <edgeWeight>    (one per tree node)
+//	l <graphNode> <treeNode>                         (one per leaf)
+//
+// Parents use -1 for the root; ids are dense and 0-based.
+
+// WriteTree serialises t.
+func WriteTree(w io.Writer, t *Tree) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "t %d %d %g\n", t.NumNodes(), len(t.Leaf), t.Beta); err != nil {
+		return err
+	}
+	for u := 0; u < t.NumNodes(); u++ {
+		if _, err := fmt.Fprintf(bw, "n %d %d %d %d %g\n",
+			u, t.Parent[u], t.Level[u], t.Center[u], t.EdgeWeight[u]); err != nil {
+			return err
+		}
+	}
+	for v, leaf := range t.Leaf {
+		if _, err := fmt.Fprintf(bw, "l %d %d\n", v, leaf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTree parses a serialised tree and validates its structural
+// invariants.
+func ReadTree(r io.Reader) (*Tree, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var t *Tree
+	seenNodes := 0
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "t "):
+			if t != nil {
+				return nil, fmt.Errorf("line %d: duplicate header", lineNo)
+			}
+			var nt, nl int
+			var beta float64
+			if _, err := fmt.Sscanf(line, "t %d %d %g", &nt, &nl, &beta); err != nil {
+				return nil, fmt.Errorf("line %d: bad header: %v", lineNo, err)
+			}
+			if nt <= 0 || nl <= 0 {
+				return nil, fmt.Errorf("line %d: non-positive sizes", lineNo)
+			}
+			t = &Tree{
+				Parent:     make([]int32, nt),
+				EdgeWeight: make([]float64, nt),
+				Center:     make([]graph.Node, nt),
+				Level:      make([]int32, nt),
+				Leaf:       make([]int32, nl),
+				Beta:       beta,
+			}
+			for i := range t.Leaf {
+				t.Leaf[i] = -1
+			}
+		case strings.HasPrefix(line, "n "):
+			if t == nil {
+				return nil, fmt.Errorf("line %d: node before header", lineNo)
+			}
+			var id, parent, level, center int
+			var w float64
+			if _, err := fmt.Sscanf(line, "n %d %d %d %d %g", &id, &parent, &level, &center, &w); err != nil {
+				return nil, fmt.Errorf("line %d: bad node: %v", lineNo, err)
+			}
+			if id < 0 || id >= t.NumNodes() || parent < -1 || parent >= t.NumNodes() {
+				return nil, fmt.Errorf("line %d: id/parent out of range", lineNo)
+			}
+			t.Parent[id] = int32(parent)
+			t.Level[id] = int32(level)
+			t.Center[id] = graph.Node(center)
+			t.EdgeWeight[id] = w
+			seenNodes++
+		case strings.HasPrefix(line, "l "):
+			if t == nil {
+				return nil, fmt.Errorf("line %d: leaf before header", lineNo)
+			}
+			var v, leaf int
+			if _, err := fmt.Sscanf(line, "l %d %d", &v, &leaf); err != nil {
+				return nil, fmt.Errorf("line %d: bad leaf: %v", lineNo, err)
+			}
+			if v < 0 || v >= len(t.Leaf) || leaf < 0 || leaf >= t.NumNodes() {
+				return nil, fmt.Errorf("line %d: leaf out of range", lineNo)
+			}
+			t.Leaf[v] = int32(leaf)
+		default:
+			return nil, fmt.Errorf("line %d: unrecognised line %q", lineNo, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if t == nil {
+		return nil, fmt.Errorf("missing header")
+	}
+	if seenNodes != t.NumNodes() {
+		return nil, fmt.Errorf("header declares %d tree nodes, found %d", t.NumNodes(), seenNodes)
+	}
+	for v, leaf := range t.Leaf {
+		if leaf == -1 {
+			return nil, fmt.Errorf("graph node %d has no leaf", v)
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("invalid tree: %v", err)
+	}
+	return t, nil
+}
+
+// ToGraph converts the tree into an explicit weighted graph whose first
+// len(Leaf) node IDs… cannot in general coincide with the graph nodes
+// (leaves are interior tree IDs), so the returned graph is on the tree's
+// own node IDs and the second return value maps each original graph node to
+// its leaf. Distances in the returned graph equal Tree.Dist on leaf pairs —
+// the cross-check used by the tests and a convenient handoff to tree
+// solvers that expect a plain graph.
+func (t *Tree) ToGraph() (*graph.Graph, []graph.Node) {
+	g := graph.New(t.NumNodes())
+	for u := 0; u < t.NumNodes(); u++ {
+		if p := t.Parent[u]; p != -1 {
+			g.AddEdge(graph.Node(u), graph.Node(p), t.EdgeWeight[u])
+		}
+	}
+	leaves := make([]graph.Node, len(t.Leaf))
+	for v, leaf := range t.Leaf {
+		leaves[v] = graph.Node(leaf)
+	}
+	return g, leaves
+}

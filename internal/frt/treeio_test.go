@@ -1,0 +1,167 @@
+package frt
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"parmbf/internal/graph"
+	"parmbf/internal/par"
+	"parmbf/internal/semiring"
+)
+
+func sampleTreeForIO(t *testing.T, seed uint64, n, m int) (*graph.Graph, *Tree) {
+	t.Helper()
+	rng := par.NewRNG(seed)
+	g := graph.RandomConnected(n, m, 6, rng)
+	emb, err := SampleOnGraph(g, rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, emb.Tree
+}
+
+func TestTreeWriteReadRoundTrip(t *testing.T) {
+	_, tree := sampleTreeForIO(t, 1, 30, 70)
+	var buf bytes.Buffer
+	if err := WriteTree(&buf, tree); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTree(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != tree.NumNodes() || got.Beta != tree.Beta {
+		t.Fatal("round trip changed shape")
+	}
+	for u := 0; u < tree.NumNodes(); u++ {
+		if got.Parent[u] != tree.Parent[u] || got.EdgeWeight[u] != tree.EdgeWeight[u] ||
+			got.Center[u] != tree.Center[u] || got.Level[u] != tree.Level[u] {
+			t.Fatalf("tree node %d differs", u)
+		}
+	}
+	for v := range tree.Leaf {
+		if got.Leaf[v] != tree.Leaf[v] {
+			t.Fatalf("leaf %d differs", v)
+		}
+	}
+}
+
+func TestReadTreeRejectsMalformed(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"no header", "n 0 -1 0 0 0\n"},
+		{"duplicate header", "t 1 1 1.5\nt 1 1 1.5\n"},
+		{"node out of range", "t 1 1 1.5\nn 5 -1 0 0 0\nl 0 0\n"},
+		{"missing leaf", "t 1 1 1.5\nn 0 -1 0 0 0\n"},
+		{"missing nodes", "t 2 1 1.5\nn 0 -1 0 0 0\nl 0 0\n"},
+		{"garbage", "t 1 1 1.5\nx y z\n"},
+		{"empty", ""},
+	}
+	for _, c := range cases {
+		if _, err := ReadTree(strings.NewReader(c.src)); err == nil {
+			t.Fatalf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestToGraphPreservesTreeMetric(t *testing.T) {
+	g, tree := sampleTreeForIO(t, 2, 25, 60)
+	tg, leaves := tree.ToGraph()
+	if !tg.Connected() {
+		t.Fatal("tree graph disconnected")
+	}
+	if tg.M() != tree.NumNodes()-1 {
+		t.Fatalf("tree graph has %d edges, want %d", tg.M(), tree.NumNodes()-1)
+	}
+	for u := 0; u < g.N(); u += 3 {
+		res := graph.Dijkstra(tg, leaves[u])
+		for v := 0; v < g.N(); v += 2 {
+			want := tree.Dist(graph.Node(u), graph.Node(v))
+			if got := res.Dist[leaves[v]]; got != want {
+				t.Fatalf("(%d,%d): tree graph %v vs Tree.Dist %v", u, v, got, want)
+			}
+		}
+	}
+}
+
+// quickTreeSeed drives random tree round-trips via testing/quick.
+type quickTreeSeed struct{ Seed uint64 }
+
+// Generate implements quick.Generator.
+func (quickTreeSeed) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(quickTreeSeed{Seed: r.Uint64()})
+}
+
+func TestQuickTreeRoundTripAndDominance(t *testing.T) {
+	f := func(s quickTreeSeed) bool {
+		rng := par.NewRNG(s.Seed)
+		n := 8 + int(s.Seed%16)
+		g := graph.RandomConnected(n, 2*n, 6, rng)
+		emb, err := SampleOnGraph(g, rng, nil)
+		if err != nil {
+			return false
+		}
+		if emb.Tree.Validate() != nil {
+			return false
+		}
+		// Serialise and re-read.
+		var buf bytes.Buffer
+		if WriteTree(&buf, emb.Tree) != nil {
+			return false
+		}
+		got, err := ReadTree(&buf)
+		if err != nil {
+			return false
+		}
+		// Dominance and symmetry on all pairs of the re-read tree.
+		exact := graph.APSPDijkstra(g)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				d := got.Dist(graph.Node(u), graph.Node(v))
+				if d < exact.At(u, v)-1e-9 {
+					return false
+				}
+				if d != got.Dist(graph.Node(v), graph.Node(u)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickLEFilterProjection(t *testing.T) {
+	mod := semiring.DistMapModule{}
+	f := func(seed uint64, raw []uint8) bool {
+		rng := par.NewRNG(seed)
+		o := NewOrder(16, rng)
+		filter := o.Filter()
+		var x, y semiring.DistMap
+		for i, b := range raw {
+			e := semiring.Entry{Node: graph.Node(int32(i % 16)), Dist: float64(b)}
+			if i%2 == 0 {
+				x = append(x, e)
+			} else {
+				y = append(y, e)
+			}
+		}
+		xs, ys := semiring.Normalize(x), semiring.Normalize(y)
+		rx := filter(xs)
+		if !mod.Equal(filter(rx), rx) {
+			return false
+		}
+		// Congruence in the single-sided form of Lemma 7.5.
+		lhs := filter(mod.Add(xs, ys))
+		rhs := filter(mod.Add(filter(xs), filter(ys)))
+		return mod.Equal(lhs, rhs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,76 @@
+package graph
+
+import (
+	"testing"
+
+	"parmbf/internal/par"
+)
+
+func benchGraph(b *testing.B, n, m int) *Graph {
+	b.Helper()
+	return RandomConnected(n, m, 8, par.NewRNG(1))
+}
+
+func BenchmarkDijkstra(b *testing.B) {
+	g := benchGraph(b, 1024, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Dijkstra(g, Node(i%g.N()))
+	}
+}
+
+func BenchmarkMultiSourceDijkstra(b *testing.B) {
+	g := benchGraph(b, 1024, 4096)
+	sources := []Node{1, 100, 500, 900}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MultiSourceDijkstra(g, sources)
+	}
+}
+
+func BenchmarkBellmanFord10Hops(b *testing.B) {
+	g := benchGraph(b, 1024, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BellmanFord(g, Node(i%g.N()), 10)
+	}
+}
+
+func BenchmarkAPSPDijkstra256(b *testing.B) {
+	g := benchGraph(b, 256, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		APSPDijkstra(g)
+	}
+}
+
+func BenchmarkMinPlusSquare128(b *testing.B) {
+	g := benchGraph(b, 128, 512)
+	a := AdjacencyMatrix(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MinPlusSquare(a, nil)
+	}
+}
+
+func BenchmarkSPDFrom(b *testing.B) {
+	g := benchGraph(b, 512, 2048)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SPDFrom(g, Node(i%g.N()))
+	}
+}
+
+func BenchmarkRandomConnected(b *testing.B) {
+	rng := par.NewRNG(2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		RandomConnected(512, 2048, 8, rng)
+	}
+}

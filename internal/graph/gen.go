@@ -1,0 +1,295 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"parmbf/internal/par"
+)
+
+// This file provides the workload generators of the experiment suite. All
+// generators take an explicit RNG so every experiment is reproducible from a
+// seed, and all of them produce connected graphs with positive weights and a
+// polynomially bounded weight ratio (the standing assumptions of §1.2).
+
+// quantize rounds w to a multiple of 1/1024. Dyadic-rational weights make
+// every path-weight sum exact in float64 (no rounding error accumulates), so
+// exact distances form an exact metric and tie-breaking in tests is
+// deterministic. The weight-ratio assumption of §1.2 is unaffected.
+func quantize(w float64) float64 {
+	q := math.Round(w*1024) / 1024
+	if q <= 0 {
+		q = 1.0 / 1024
+	}
+	return q
+}
+
+// PathGraph returns the n-node path v0—v1—…—v_{n-1} with the given uniform
+// edge weight. Its SPD is n−1: the worst case for plain MBF iteration and
+// the motivating example for the simulated graph H of §4.
+func PathGraph(n int, weight float64) *Graph {
+	g := New(n)
+	for v := 0; v+1 < n; v++ {
+		g.AddEdge(Node(v), Node(v+1), weight)
+	}
+	return g
+}
+
+// CycleGraph returns the n-node cycle with unit weights, the paper's example
+// of a graph that no deterministic tree embedding can handle with stretch
+// o(n) but random embeddings handle with expected stretch O(log n) (§1.1).
+func CycleGraph(n int, weight float64) *Graph {
+	if n < 3 {
+		panic("graph: cycle needs n ≥ 3")
+	}
+	g := PathGraph(n, weight)
+	g.AddEdge(Node(n-1), 0, weight)
+	return g
+}
+
+// GridGraph returns the rows×cols grid with weights drawn uniformly from
+// [1, maxWeight]. Grids have Θ(√n) SPD and model road-like networks.
+func GridGraph(rows, cols int, maxWeight float64, rng *par.RNG) *Graph {
+	g := New(rows * cols)
+	id := func(r, c int) Node { return Node(r*cols + c) }
+	w := func() float64 { return quantize(1 + rng.Float64()*(maxWeight-1)) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.AddEdge(id(r, c), id(r, c+1), w())
+			}
+			if r+1 < rows {
+				g.AddEdge(id(r, c), id(r+1, c), w())
+			}
+		}
+	}
+	return g
+}
+
+// RandomConnected returns a connected graph with n nodes and m edges: a
+// random spanning tree plus m−(n−1) random extra edges, weights uniform in
+// [1, maxWeight]. It panics if m < n−1 or m exceeds the simple-graph bound.
+func RandomConnected(n, m int, maxWeight float64, rng *par.RNG) *Graph {
+	if m < n-1 {
+		panic(fmt.Sprintf("graph: m=%d below spanning tree size %d", m, n-1))
+	}
+	if maxM := n * (n - 1) / 2; m > maxM {
+		panic(fmt.Sprintf("graph: m=%d exceeds simple bound %d", m, maxM))
+	}
+	g := New(n)
+	w := func() float64 { return quantize(1 + rng.Float64()*(maxWeight-1)) }
+	// Random spanning tree: attach each node (in random order) to a random
+	// earlier node, which yields a uniform-ish random recursive tree.
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		j := rng.Intn(i)
+		g.AddEdge(Node(perm[i]), Node(perm[j]), w())
+	}
+	for g.M() < m {
+		u := Node(rng.Intn(n))
+		v := Node(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		if _, ok := g.HasEdge(u, v); ok {
+			continue
+		}
+		g.AddEdge(u, v, w())
+	}
+	return g
+}
+
+// Lollipop returns a lollipop graph: a clique on cliqueN nodes joined to a
+// path of pathN nodes by a single edge, all unit weights. Its SPD is
+// Θ(pathN) while its size stays Θ(cliqueN² + pathN) — the adversarial
+// workload of experiment E9 where SPD ≫ √n makes plain per-hop algorithms
+// slow.
+func Lollipop(cliqueN, pathN int) *Graph {
+	n := cliqueN + pathN
+	g := New(n)
+	for u := 0; u < cliqueN; u++ {
+		for v := u + 1; v < cliqueN; v++ {
+			g.AddEdge(Node(u), Node(v), 1)
+		}
+	}
+	for v := cliqueN; v < n; v++ {
+		g.AddEdge(Node(v-1), Node(v), 1)
+	}
+	return g
+}
+
+// Clustered returns a graph of k well-separated clusters: each cluster is a
+// random connected subgraph with intra-cluster weights in [1, 2], and
+// clusters are joined into a connected whole by bridges of weight sep ≫ 2.
+// It is the planted workload for the k-median experiment E11, where the
+// optimal centers are one per cluster.
+func Clustered(k, perCluster int, sep float64, rng *par.RNG) *Graph {
+	n := k * perCluster
+	g := New(n)
+	for c := 0; c < k; c++ {
+		base := c * perCluster
+		// Spanning tree plus a few chords inside the cluster.
+		for i := 1; i < perCluster; i++ {
+			j := rng.Intn(i)
+			g.AddEdge(Node(base+i), Node(base+j), quantize(1+rng.Float64()))
+		}
+		extra := perCluster / 2
+		for e := 0; e < extra; e++ {
+			u := Node(base + rng.Intn(perCluster))
+			v := Node(base + rng.Intn(perCluster))
+			if u == v {
+				continue
+			}
+			if _, ok := g.HasEdge(u, v); !ok {
+				g.AddEdge(u, v, quantize(1+rng.Float64()))
+			}
+		}
+	}
+	// Bridge consecutive clusters.
+	for c := 0; c+1 < k; c++ {
+		u := Node(c*perCluster + rng.Intn(perCluster))
+		v := Node((c+1)*perCluster + rng.Intn(perCluster))
+		g.AddEdge(u, v, sep)
+	}
+	return g
+}
+
+// CompleteFromMatrix builds the complete graph whose edge weights are the
+// off-diagonal entries of a finite metric matrix. This realises the paper's
+// remark that "a metric can be interpreted as a complete weighted graph of
+// SPD 1" (§1.1) and is used to compare against the metric-input baseline of
+// Blelloch et al.
+func CompleteFromMatrix(m *Matrix) *Graph {
+	n := m.N
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.AddEdge(Node(u), Node(v), m.At(u, v))
+		}
+	}
+	return g
+}
+
+// RandomGeometric returns a connected random geometric graph: n points
+// uniform in the unit square, edges between pairs within distance radius
+// with Euclidean weights (scaled by 1000 so the minimum weight stays well
+// above 0), plus spanning-tree edges if the radius graph is disconnected.
+func RandomGeometric(n int, radius float64, rng *par.RNG) *Graph {
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+	}
+	dist := func(i, j int) float64 {
+		dx, dy := xs[i]-xs[j], ys[i]-ys[j]
+		return quantize(math.Sqrt(dx*dx+dy*dy)*1000 + 1)
+	}
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dx, dy := xs[i]-xs[j], ys[i]-ys[j]
+			if math.Sqrt(dx*dx+dy*dy) <= radius {
+				g.AddEdge(Node(i), Node(j), dist(i, j))
+			}
+		}
+	}
+	// Guarantee connectivity: link each connected component to node 0's
+	// component through the geometrically nearest pair.
+	for {
+		comp := components(g)
+		// Find a node in a different component than node 0 and connect it.
+		target := -1
+		for v := 1; v < n; v++ {
+			if comp[v] != comp[0] {
+				target = v
+				break
+			}
+		}
+		if target == -1 {
+			break
+		}
+		best, bu := math.Inf(1), -1
+		for v := 0; v < n; v++ {
+			if comp[v] == comp[0] {
+				if d := dist(v, target); d < best {
+					best, bu = d, v
+				}
+			}
+		}
+		g.AddEdge(Node(bu), Node(target), best)
+	}
+	return g
+}
+
+// components labels nodes with component IDs.
+func components(g *Graph) []int {
+	n := g.N()
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	next := 0
+	for s := 0; s < n; s++ {
+		if comp[s] != -1 {
+			continue
+		}
+		stack := []Node{Node(s)}
+		comp[s] = next
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, a := range g.Neighbors(v) {
+				if comp[a.To] == -1 {
+					comp[a.To] = next
+					stack = append(stack, a.To)
+				}
+			}
+		}
+		next++
+	}
+	return comp
+}
+
+// BarabasiAlbert returns a preferential-attachment graph: starting from a
+// small clique, each new node attaches to `attach` existing nodes chosen
+// with probability proportional to their degree, with weights uniform in
+// [1, maxWeight]. The degree distribution is power-law-ish — the
+// heavy-tailed workload of the experiment suite.
+func BarabasiAlbert(n, attach int, maxWeight float64, rng *par.RNG) *Graph {
+	if attach < 1 {
+		attach = 1
+	}
+	seed := attach + 1
+	if seed > n {
+		seed = n
+	}
+	g := New(n)
+	w := func() float64 { return quantize(1 + rng.Float64()*(maxWeight-1)) }
+	// Seed clique.
+	for u := 0; u < seed; u++ {
+		for v := u + 1; v < seed; v++ {
+			g.AddEdge(Node(u), Node(v), w())
+		}
+	}
+	// Repeated-endpoints trick: sampling uniformly from the endpoint list
+	// is proportional to degree.
+	var endpoints []Node
+	for _, e := range g.Edges() {
+		endpoints = append(endpoints, e.U, e.V)
+	}
+	for v := seed; v < n; v++ {
+		chosen := map[Node]bool{}
+		for len(chosen) < attach {
+			t := endpoints[rng.Intn(len(endpoints))]
+			if int(t) != v {
+				chosen[t] = true
+			}
+		}
+		for t := range chosen {
+			g.AddEdge(Node(v), t, w())
+			endpoints = append(endpoints, Node(v), t)
+		}
+	}
+	return g
+}

@@ -1,0 +1,182 @@
+// Package graph provides the weighted-graph substrate of the library:
+// adjacency structures, exact shortest-path algorithms (Dijkstra,
+// Bellman-Ford, APSP by repeated squaring over the min-plus semiring),
+// shortest-path-diameter computation, and the graph generators used by the
+// experiment suite.
+//
+// Following §1.2 of Friedrichs & Lenzen, graphs are undirected, connected,
+// loop-free, with positive edge weights whose maximum/minimum ratio is
+// polynomially bounded.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"parmbf/internal/semiring"
+)
+
+// Node identifies a vertex; nodes are 0-based dense integers.
+type Node = semiring.NodeID
+
+// Arc is one directed half of an undirected edge in an adjacency list.
+type Arc struct {
+	To     Node
+	Weight float64
+}
+
+// Edge is an undirected weighted edge with U < V.
+type Edge struct {
+	U, V   Node
+	Weight float64
+}
+
+// Graph is an undirected weighted graph stored as adjacency lists. Build one
+// with New and AddEdge; all algorithms treat it as immutable afterwards.
+type Graph struct {
+	adj [][]Arc
+	m   int
+}
+
+// New returns an empty graph on n nodes.
+func New(n int) *Graph {
+	return &Graph{adj: make([][]Arc, n)}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.adj) }
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int { return g.m }
+
+// Neighbors returns the adjacency list of v. The caller must not modify it.
+func (g *Graph) Neighbors(v Node) []Arc { return g.adj[v] }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v Node) int { return len(g.adj[v]) }
+
+// AddEdge inserts the undirected edge {u, v} with weight w. It panics on
+// loops, non-positive weights, or out-of-range endpoints; if the edge already
+// exists its weight is lowered to w if w is smaller (parallel edges are
+// collapsed to the lightest, which is the only one shortest-path algorithms
+// can use).
+func (g *Graph) AddEdge(u, v Node, w float64) {
+	if u == v {
+		panic(fmt.Sprintf("graph: loop at node %d", u))
+	}
+	if w <= 0 || semiring.IsInf(w) {
+		panic(fmt.Sprintf("graph: invalid edge weight %v", w))
+	}
+	if int(u) < 0 || int(u) >= len(g.adj) || int(v) < 0 || int(v) >= len(g.adj) {
+		panic(fmt.Sprintf("graph: edge {%d,%d} out of range n=%d", u, v, len(g.adj)))
+	}
+	for i, a := range g.adj[u] {
+		if a.To == v {
+			if w < a.Weight {
+				g.adj[u][i].Weight = w
+				for j, b := range g.adj[v] {
+					if b.To == u {
+						g.adj[v][j].Weight = w
+					}
+				}
+			}
+			return
+		}
+	}
+	g.adj[u] = append(g.adj[u], Arc{To: v, Weight: w})
+	g.adj[v] = append(g.adj[v], Arc{To: u, Weight: w})
+	g.m++
+}
+
+// HasEdge reports whether {u, v} is an edge and returns its weight.
+func (g *Graph) HasEdge(u, v Node) (float64, bool) {
+	for _, a := range g.adj[u] {
+		if a.To == v {
+			return a.Weight, true
+		}
+	}
+	return semiring.Inf, false
+}
+
+// Weight returns ω(u,v) in the convention of §1.2: 0 for u == v, the edge
+// weight if {u,v} ∈ E, and ∞ otherwise.
+func (g *Graph) Weight(u, v Node) float64 {
+	if u == v {
+		return 0
+	}
+	w, _ := g.HasEdge(u, v)
+	return w
+}
+
+// Edges returns all undirected edges with U < V, sorted by (U, V).
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.m)
+	for u := range g.adj {
+		for _, a := range g.adj[u] {
+			if Node(u) < a.To {
+				out = append(out, Edge{U: Node(u), V: a.To, Weight: a.Weight})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	h := &Graph{adj: make([][]Arc, len(g.adj)), m: g.m}
+	for v, as := range g.adj {
+		h.adj[v] = append([]Arc(nil), as...)
+	}
+	return h
+}
+
+// WeightRange returns the minimum and maximum edge weight. It panics on an
+// edgeless graph.
+func (g *Graph) WeightRange() (min, max float64) {
+	if g.m == 0 {
+		panic("graph: WeightRange on edgeless graph")
+	}
+	min, max = semiring.Inf, 0
+	for _, as := range g.adj {
+		for _, a := range as {
+			if a.Weight < min {
+				min = a.Weight
+			}
+			if a.Weight > max {
+				max = a.Weight
+			}
+		}
+	}
+	return min, max
+}
+
+// Connected reports whether g is connected (the standing assumption of
+// §1.2).
+func (g *Graph) Connected() bool {
+	n := g.N()
+	if n == 0 {
+		return true
+	}
+	seen := make([]bool, n)
+	stack := []Node{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, a := range g.adj[v] {
+			if !seen[a.To] {
+				seen[a.To] = true
+				count++
+				stack = append(stack, a.To)
+			}
+		}
+	}
+	return count == n
+}

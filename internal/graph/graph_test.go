@@ -1,0 +1,429 @@
+package graph
+
+import (
+	"testing"
+
+	"parmbf/internal/par"
+	"parmbf/internal/semiring"
+)
+
+func TestAddEdgeAndAccessors(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(1, 2, 3)
+	g.AddEdge(0, 3, 1.5)
+	if g.N() != 4 || g.M() != 3 {
+		t.Fatalf("N=%d M=%d, want 4, 3", g.N(), g.M())
+	}
+	if w, ok := g.HasEdge(1, 0); !ok || w != 2 {
+		t.Fatalf("HasEdge(1,0) = %v,%v", w, ok)
+	}
+	if _, ok := g.HasEdge(2, 3); ok {
+		t.Fatal("phantom edge {2,3}")
+	}
+	if g.Weight(2, 2) != 0 {
+		t.Fatal("ω(v,v) should be 0")
+	}
+	if !semiring.IsInf(g.Weight(2, 3)) {
+		t.Fatal("ω of non-edge should be ∞")
+	}
+	if g.Degree(0) != 2 {
+		t.Fatalf("deg(0) = %d, want 2", g.Degree(0))
+	}
+}
+
+func TestAddEdgeParallelKeepsLighter(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1, 5)
+	g.AddEdge(0, 1, 3)
+	g.AddEdge(0, 1, 9)
+	if g.M() != 1 {
+		t.Fatalf("M = %d, want 1 (parallel edges collapsed)", g.M())
+	}
+	if w, _ := g.HasEdge(0, 1); w != 3 {
+		t.Fatalf("weight = %v, want 3 (lightest)", w)
+	}
+	if w, _ := g.HasEdge(1, 0); w != 3 {
+		t.Fatal("reverse arc not updated")
+	}
+}
+
+func TestAddEdgePanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"loop", func() { New(2).AddEdge(1, 1, 1) }},
+		{"zero weight", func() { New(2).AddEdge(0, 1, 0) }},
+		{"negative weight", func() { New(2).AddEdge(0, 1, -1) }},
+		{"inf weight", func() { New(2).AddEdge(0, 1, semiring.Inf) }},
+		{"out of range", func() { New(2).AddEdge(0, 5, 1) }},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: no panic", c.name)
+				}
+			}()
+			c.fn()
+		}()
+	}
+}
+
+func TestEdgesSortedAndComplete(t *testing.T) {
+	g := New(4)
+	g.AddEdge(2, 1, 4)
+	g.AddEdge(0, 3, 1)
+	g.AddEdge(0, 1, 2)
+	es := g.Edges()
+	want := []Edge{{0, 1, 2}, {0, 3, 1}, {1, 2, 4}}
+	if len(es) != len(want) {
+		t.Fatalf("Edges = %v", es)
+	}
+	for i := range want {
+		if es[i] != want[i] {
+			t.Fatalf("Edges[%d] = %v, want %v", i, es[i], want[i])
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 2)
+	h := g.Clone()
+	h.AddEdge(1, 2, 1)
+	if g.M() != 1 || h.M() != 2 {
+		t.Fatal("clone shares state with original")
+	}
+}
+
+func TestConnected(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(2, 3, 1)
+	if g.Connected() {
+		t.Fatal("disconnected graph reported connected")
+	}
+	g.AddEdge(1, 2, 1)
+	if !g.Connected() {
+		t.Fatal("connected graph reported disconnected")
+	}
+	if !New(0).Connected() {
+		t.Fatal("empty graph should count as connected")
+	}
+}
+
+func TestWeightRange(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(1, 2, 7)
+	min, max := g.WeightRange()
+	if min != 2 || max != 7 {
+		t.Fatalf("WeightRange = %v, %v", min, max)
+	}
+}
+
+// diamond returns the classic diamond graph where the direct edge 0–3 is
+// heavier than the two-hop route.
+func diamond() *Graph {
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 3, 1)
+	g.AddEdge(0, 2, 2)
+	g.AddEdge(2, 3, 2)
+	g.AddEdge(0, 3, 5)
+	return g
+}
+
+func TestDijkstraDistances(t *testing.T) {
+	g := diamond()
+	res := Dijkstra(g, 0)
+	want := []float64{0, 1, 2, 2}
+	for v, d := range want {
+		if res.Dist[v] != d {
+			t.Fatalf("dist(0,%d) = %v, want %v", v, res.Dist[v], d)
+		}
+	}
+	if res.Hops[3] != 2 {
+		t.Fatalf("hop(0,3) = %d, want 2 (min-hop among shortest paths)", res.Hops[3])
+	}
+	path := res.PathTo(3)
+	if len(path) != 3 || path[0] != 0 || path[2] != 3 {
+		t.Fatalf("PathTo(3) = %v", path)
+	}
+}
+
+func TestDijkstraUnreachable(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 1)
+	res := Dijkstra(g, 0)
+	if !semiring.IsInf(res.Dist[2]) {
+		t.Fatal("unreachable node has finite distance")
+	}
+	if res.PathTo(2) != nil {
+		t.Fatal("PathTo(unreachable) should be nil")
+	}
+}
+
+func TestDijkstraMinHopTieBreaking(t *testing.T) {
+	// Two shortest 0→3 paths of weight 3: 0-1-2-3 (3 hops) and 0-3 via a
+	// direct edge of weight 3 (1 hop). Hops must report 1.
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1)
+	g.AddEdge(0, 3, 3)
+	res := Dijkstra(g, 0)
+	if res.Dist[3] != 3 {
+		t.Fatalf("dist = %v", res.Dist[3])
+	}
+	if res.Hops[3] != 1 {
+		t.Fatalf("hop(0,3) = %d, want 1", res.Hops[3])
+	}
+}
+
+func TestBellmanFordHopLimits(t *testing.T) {
+	g := diamond()
+	d0 := BellmanFord(g, 0, 0)
+	if d0[0] != 0 || !semiring.IsInf(d0[1]) {
+		t.Fatalf("0-hop distances wrong: %v", d0)
+	}
+	d1 := BellmanFord(g, 0, 1)
+	if d1[3] != 5 {
+		t.Fatalf("dist¹(0,3) = %v, want 5 (direct edge)", d1[3])
+	}
+	d2 := BellmanFord(g, 0, 2)
+	if d2[3] != 2 {
+		t.Fatalf("dist²(0,3) = %v, want 2", d2[3])
+	}
+}
+
+func TestBellmanFordMatchesDijkstraAtFixpoint(t *testing.T) {
+	rng := par.NewRNG(1)
+	g := RandomConnected(60, 150, 10, rng)
+	for _, src := range []Node{0, 17, 59} {
+		bf := BellmanFord(g, src, g.N())
+		dj := Dijkstra(g, src)
+		for v := range bf {
+			if bf[v] != dj.Dist[v] {
+				t.Fatalf("src %d node %d: BF %v vs Dijkstra %v", src, v, bf[v], dj.Dist[v])
+			}
+		}
+	}
+}
+
+func TestSPDPath(t *testing.T) {
+	g := PathGraph(10, 1)
+	if spd := SPD(g); spd != 9 {
+		t.Fatalf("SPD(path10) = %d, want 9", spd)
+	}
+}
+
+func TestSPDShortcutEdge(t *testing.T) {
+	// A path with a heavy chord: the chord does not lie on any shortest
+	// path, so SPD remains that of the path.
+	g := PathGraph(6, 1)
+	g.AddEdge(0, 5, 100)
+	if spd := SPD(g); spd != 5 {
+		t.Fatalf("SPD = %d, want 5", spd)
+	}
+	// A light chord creates a 1-hop shortest path between the endpoints.
+	h := PathGraph(6, 1)
+	h.AddEdge(0, 5, 1)
+	if spd := SPD(h); spd >= 5 {
+		t.Fatalf("SPD = %d, want < 5 after shortcut", spd)
+	}
+}
+
+func TestHopDiameter(t *testing.T) {
+	g := PathGraph(7, 3.5)
+	if d := HopDiameter(g); d != 6 {
+		t.Fatalf("D(path7) = %d, want 6", d)
+	}
+	c := CycleGraph(8, 1)
+	if d := HopDiameter(c); d != 4 {
+		t.Fatalf("D(cycle8) = %d, want 4", d)
+	}
+}
+
+func TestAdjacencyMatrix(t *testing.T) {
+	g := diamond()
+	a := AdjacencyMatrix(g)
+	if a.At(0, 0) != 0 {
+		t.Fatal("diagonal should be 0")
+	}
+	if a.At(0, 1) != 1 || a.At(1, 0) != 1 {
+		t.Fatal("edge weight wrong")
+	}
+	if !semiring.IsInf(a.At(1, 2)) {
+		t.Fatal("non-edge should be ∞")
+	}
+}
+
+func TestAPSPMatrixSquaringMatchesDijkstra(t *testing.T) {
+	rng := par.NewRNG(2)
+	g := RandomConnected(40, 90, 8, rng)
+	tr := &par.Tracker{}
+	sq := APSPMatrixSquaring(g, tr)
+	dj := APSPDijkstra(g)
+	for v := 0; v < g.N(); v++ {
+		for w := 0; w < g.N(); w++ {
+			if diff := sq.At(v, w) - dj.At(v, w); diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("APSP mismatch at (%d,%d): %v vs %v", v, w, sq.At(v, w), dj.At(v, w))
+			}
+		}
+	}
+	if tr.Work() == 0 {
+		t.Fatal("tracker not charged")
+	}
+}
+
+func TestAPSPIsMetric(t *testing.T) {
+	rng := par.NewRNG(3)
+	g := RandomConnected(30, 60, 5, rng)
+	m := APSPDijkstra(g)
+	if !m.IsMetric(1e-9) {
+		t.Fatal("exact APSP distances are not a metric")
+	}
+}
+
+func TestIsMetricDetectsViolations(t *testing.T) {
+	m := NewMatrix(3)
+	m.Set(0, 1, 1)
+	m.Set(1, 0, 1)
+	m.Set(1, 2, 1)
+	m.Set(2, 1, 1)
+	m.Set(0, 2, 5) // violates triangle inequality via 1
+	m.Set(2, 0, 5)
+	if m.IsMetric(0) {
+		t.Fatal("triangle violation undetected")
+	}
+	m.Set(0, 2, 2)
+	if m.IsMetric(0) {
+		t.Fatal("asymmetry undetected")
+	}
+	m.Set(2, 0, 2)
+	if !m.IsMetric(0) {
+		t.Fatal("valid metric rejected")
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	rng := par.NewRNG(4)
+	cases := []struct {
+		name string
+		g    *Graph
+		n    int
+	}{
+		{"path", PathGraph(12, 1), 12},
+		{"cycle", CycleGraph(9, 2), 9},
+		{"grid", GridGraph(5, 7, 4, rng), 35},
+		{"random", RandomConnected(50, 120, 10, rng), 50},
+		{"lollipop", Lollipop(10, 20), 30},
+		{"clustered", Clustered(4, 10, 100, rng), 40},
+		{"geometric", RandomGeometric(40, 0.2, rng), 40},
+	}
+	for _, c := range cases {
+		if c.g.N() != c.n {
+			t.Fatalf("%s: N = %d, want %d", c.name, c.g.N(), c.n)
+		}
+		if !c.g.Connected() {
+			t.Fatalf("%s: not connected", c.name)
+		}
+		min, _ := c.g.WeightRange()
+		if min <= 0 {
+			t.Fatalf("%s: non-positive weight", c.name)
+		}
+	}
+}
+
+func TestRandomConnectedEdgeCount(t *testing.T) {
+	rng := par.NewRNG(5)
+	g := RandomConnected(20, 50, 3, rng)
+	if g.M() != 50 {
+		t.Fatalf("M = %d, want 50", g.M())
+	}
+}
+
+func TestRandomConnectedPanics(t *testing.T) {
+	rng := par.NewRNG(6)
+	for _, c := range []struct{ n, m int }{{10, 5}, {5, 100}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("n=%d m=%d: no panic", c.n, c.m)
+				}
+			}()
+			RandomConnected(c.n, c.m, 2, rng)
+		}()
+	}
+}
+
+func TestLollipopHighSPD(t *testing.T) {
+	g := Lollipop(8, 30)
+	if spd := SPD(g); spd < 30 {
+		t.Fatalf("lollipop SPD = %d, want ≥ 30", spd)
+	}
+}
+
+func TestCompleteFromMatrix(t *testing.T) {
+	rng := par.NewRNG(7)
+	g := RandomConnected(15, 40, 5, rng)
+	m := APSPDijkstra(g)
+	c := CompleteFromMatrix(m)
+	if c.M() != 15*14/2 {
+		t.Fatalf("complete graph edge count = %d", c.M())
+	}
+	if spd := SPD(c); spd != 1 {
+		t.Fatalf("SPD of metric completion = %d, want 1", spd)
+	}
+}
+
+func TestCompleteGraphDistancesMatchMetric(t *testing.T) {
+	rng := par.NewRNG(8)
+	g := RandomConnected(12, 25, 5, rng)
+	m := APSPDijkstra(g)
+	c := CompleteFromMatrix(m)
+	cm := APSPDijkstra(c)
+	for v := 0; v < 12; v++ {
+		for w := 0; w < 12; w++ {
+			if d := cm.At(v, w) - m.At(v, w); d > 1e-9 || d < -1e-9 {
+				t.Fatalf("metric completion changed distance (%d,%d)", v, w)
+			}
+		}
+	}
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	rng := par.NewRNG(20)
+	g := BarabasiAlbert(200, 2, 4, rng)
+	if g.N() != 200 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if !g.Connected() {
+		t.Fatal("BA graph disconnected")
+	}
+	// Heavy tail: the maximum degree should far exceed the attach count.
+	maxDeg := 0
+	for v := 0; v < g.N(); v++ {
+		if d := g.Degree(Node(v)); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if maxDeg < 8 {
+		t.Fatalf("max degree %d suspiciously small for preferential attachment", maxDeg)
+	}
+	// Edge count: clique + ~attach per new node.
+	if g.M() < 200 || g.M() > 2*200+3 {
+		t.Fatalf("M = %d out of expected band", g.M())
+	}
+}
+
+func TestBarabasiAlbertSmall(t *testing.T) {
+	rng := par.NewRNG(21)
+	g := BarabasiAlbert(3, 5, 2, rng)
+	if !g.Connected() || g.N() != 3 {
+		t.Fatal("degenerate BA graph wrong")
+	}
+}

@@ -1,0 +1,89 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// This file implements a plain-text edge-list format for graphs:
+//
+//	# comment lines and blank lines are ignored
+//	p <n> <m>          — header: node and edge counts
+//	e <u> <v> <w>      — one undirected edge per line, 0-based endpoints
+//
+// The format is a light variant of the DIMACS shortest-path format, kept
+// self-describing so example inputs can be versioned alongside the code.
+
+// Write serialises g in the edge-list format.
+func Write(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "p %d %d\n", g.N(), g.M()); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "e %d %d %g\n", e.U, e.V, e.Weight); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a graph in the edge-list format. It validates the header
+// against the actual edge count and re-applies all Graph invariants
+// (positive weights, no loops, in-range endpoints).
+func Read(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var g *Graph
+	declared := -1
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "p "):
+			if g != nil {
+				return nil, fmt.Errorf("line %d: duplicate header", lineNo)
+			}
+			var n, m int
+			if _, err := fmt.Sscanf(line, "p %d %d", &n, &m); err != nil {
+				return nil, fmt.Errorf("line %d: bad header %q: %v", lineNo, line, err)
+			}
+			if n < 0 || m < 0 {
+				return nil, fmt.Errorf("line %d: negative sizes", lineNo)
+			}
+			g = New(n)
+			declared = m
+		case strings.HasPrefix(line, "e "):
+			if g == nil {
+				return nil, fmt.Errorf("line %d: edge before header", lineNo)
+			}
+			var u, v int
+			var w float64
+			if _, err := fmt.Sscanf(line, "e %d %d %g", &u, &v, &w); err != nil {
+				return nil, fmt.Errorf("line %d: bad edge %q: %v", lineNo, line, err)
+			}
+			if u < 0 || u >= g.N() || v < 0 || v >= g.N() || u == v || w <= 0 {
+				return nil, fmt.Errorf("line %d: invalid edge %q", lineNo, line)
+			}
+			g.AddEdge(Node(u), Node(v), w)
+		default:
+			return nil, fmt.Errorf("line %d: unrecognised line %q", lineNo, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("missing header")
+	}
+	if g.M() != declared {
+		return nil, fmt.Errorf("header declares %d edges, found %d", declared, g.M())
+	}
+	return g, nil
+}

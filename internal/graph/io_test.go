@@ -1,0 +1,75 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"parmbf/internal/par"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	rng := par.NewRNG(1)
+	g := RandomConnected(30, 70, 6, rng)
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != g.N() || got.M() != g.M() {
+		t.Fatalf("round trip changed sizes: %d/%d vs %d/%d", got.N(), got.M(), g.N(), g.M())
+	}
+	want := g.Edges()
+	have := got.Edges()
+	for i := range want {
+		if want[i] != have[i] {
+			t.Fatalf("edge %d: %v vs %v", i, have[i], want[i])
+		}
+	}
+}
+
+func TestReadAcceptsCommentsAndBlanks(t *testing.T) {
+	src := `
+# a triangle
+p 3 3
+
+e 0 1 1.5
+# middle comment
+e 1 2 2
+e 0 2 0.25
+`
+	g, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 3 {
+		t.Fatalf("parsed %d nodes %d edges", g.N(), g.M())
+	}
+	if w, _ := g.HasEdge(0, 2); w != 0.25 {
+		t.Fatalf("weight = %v", w)
+	}
+}
+
+func TestReadRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"no header", "e 0 1 1\n"},
+		{"duplicate header", "p 2 0\np 2 0\n"},
+		{"bad header", "p x y\n"},
+		{"edge count mismatch", "p 3 2\ne 0 1 1\n"},
+		{"loop", "p 2 1\ne 1 1 1\n"},
+		{"negative weight", "p 2 1\ne 0 1 -2\n"},
+		{"out of range", "p 2 1\ne 0 5 1\n"},
+		{"garbage line", "p 2 1\nq 0 1 1\n"},
+		{"empty", ""},
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c.src)); err == nil {
+			t.Fatalf("%s: accepted", c.name)
+		}
+	}
+}

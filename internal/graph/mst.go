@@ -1,0 +1,66 @@
+package graph
+
+import "sort"
+
+// This file provides minimum spanning trees (Kruskal with union-find),
+// used by the Steiner-tree application as the classic metric-closure
+// baseline and for pruning mapped-back tree solutions.
+
+// UnionFind is a disjoint-set forest with union by rank and path
+// compression.
+type UnionFind struct {
+	parent []int32
+	rank   []int8
+}
+
+// NewUnionFind returns a forest of n singletons.
+func NewUnionFind(n int) *UnionFind {
+	u := &UnionFind{parent: make([]int32, n), rank: make([]int8, n)}
+	for i := range u.parent {
+		u.parent[i] = int32(i)
+	}
+	return u
+}
+
+// Find returns the representative of x's set.
+func (u *UnionFind) Find(x int32) int32 {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets of a and b, returning false if they were already
+// joined.
+func (u *UnionFind) Union(a, b int32) bool {
+	ra, rb := u.Find(a), u.Find(b)
+	if ra == rb {
+		return false
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+	return true
+}
+
+// MST returns a minimum spanning tree (or forest, if g is disconnected) of
+// g as a new graph on the same node set, together with its total weight.
+func MST(g *Graph) (*Graph, float64) {
+	edges := g.Edges()
+	sort.Slice(edges, func(i, j int) bool { return edges[i].Weight < edges[j].Weight })
+	uf := NewUnionFind(g.N())
+	out := New(g.N())
+	total := 0.0
+	for _, e := range edges {
+		if uf.Union(int32(e.U), int32(e.V)) {
+			out.AddEdge(e.U, e.V, e.Weight)
+			total += e.Weight
+		}
+	}
+	return out, total
+}

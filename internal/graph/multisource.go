@@ -1,0 +1,48 @@
+package graph
+
+import (
+	"container/heap"
+
+	"parmbf/internal/semiring"
+)
+
+// MultiSourceDijkstra computes, for every node, the distance to the nearest
+// source and which source attains it (ties broken towards the source
+// reached first by the heap order, i.e. deterministically for fixed
+// weights). It is the evaluation primitive of the k-median application
+// (dist(v, F, G) in Definition 9.1) and of the candidate-sampling step.
+func MultiSourceDijkstra(g *Graph, sources []Node) (dist []float64, nearest []Node) {
+	n := g.N()
+	dist = make([]float64, n)
+	nearest = make([]Node, n)
+	for v := range dist {
+		dist[v] = semiring.Inf
+		nearest[v] = -1
+	}
+	q := make(pq, 0, len(sources))
+	for _, s := range sources {
+		if dist[s] > 0 {
+			dist[s] = 0
+			nearest[s] = s
+			q = append(q, pqItem{node: s, dist: 0})
+		}
+	}
+	heap.Init(&q)
+	done := make([]bool, n)
+	for len(q) > 0 {
+		it := heap.Pop(&q).(pqItem)
+		v := it.node
+		if done[v] {
+			continue
+		}
+		done[v] = true
+		for _, a := range g.adj[v] {
+			if nd := dist[v] + a.Weight; nd < dist[a.To] {
+				dist[a.To] = nd
+				nearest[a.To] = nearest[v]
+				heap.Push(&q, pqItem{node: a.To, dist: nd})
+			}
+		}
+	}
+	return dist, nearest
+}

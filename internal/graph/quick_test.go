@@ -1,0 +1,162 @@
+package graph
+
+// Property-based tests (testing/quick) on the graph substrate: random
+// graphs must yield metrics, consistent single- and multi-source distances,
+// and hop-monotone Bellman-Ford prefixes.
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"parmbf/internal/par"
+	"parmbf/internal/semiring"
+)
+
+// quickGraph wraps a random connected graph for testing/quick.
+type quickGraph struct {
+	G    *Graph
+	Seed uint64
+}
+
+// Generate implements quick.Generator: a connected random graph with
+// 5–40 nodes and random density.
+func (quickGraph) Generate(r *rand.Rand, _ int) reflect.Value {
+	n := 5 + r.Intn(36)
+	maxM := n * (n - 1) / 2
+	m := n - 1 + r.Intn(maxM-(n-1)+1)
+	seed := r.Uint64()
+	g := RandomConnected(n, m, 8, par.NewRNG(seed))
+	return reflect.ValueOf(quickGraph{G: g, Seed: seed})
+}
+
+var quickCfg = &quick.Config{MaxCount: 25}
+
+func TestQuickAPSPIsMetric(t *testing.T) {
+	f := func(q quickGraph) bool {
+		return APSPDijkstra(q.G).IsMetric(1e-9)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickBellmanFordMonotoneInHops(t *testing.T) {
+	f := func(q quickGraph) bool {
+		g := q.G
+		prev := BellmanFord(g, 0, 1)
+		for h := 2; h < g.N(); h++ {
+			cur := BellmanFord(g, 0, h)
+			for v := range cur {
+				if cur[v] > prev[v] {
+					return false // more hops can never hurt
+				}
+			}
+			prev = cur
+		}
+		// At h = n−1 the distances are exact.
+		exact := Dijkstra(g, 0).Dist
+		for v := range exact {
+			if prev[v] != exact[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMultiSourceConsistent(t *testing.T) {
+	f := func(q quickGraph) bool {
+		g := q.G
+		sources := []Node{0, Node(g.N() / 2)}
+		dist, nearest := MultiSourceDijkstra(g, sources)
+		d0 := Dijkstra(g, sources[0]).Dist
+		d1 := Dijkstra(g, sources[1]).Dist
+		for v := range dist {
+			want := d0[v]
+			if d1[v] < want {
+				want = d1[v]
+			}
+			if dist[v] != want {
+				return false
+			}
+			if nearest[v] != sources[0] && nearest[v] != sources[1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSPDWithinBounds(t *testing.T) {
+	f := func(q quickGraph) bool {
+		spd := SPD(q.G)
+		return spd >= 1 && spd <= q.G.N()-1
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDijkstraHopsAttainDistance(t *testing.T) {
+	// The min-hop count reported by Dijkstra must be realisable: the
+	// hop-limited distance at exactly Hops[v] hops equals the exact
+	// distance, and at Hops[v]−1 hops it is strictly larger.
+	f := func(q quickGraph) bool {
+		g := q.G
+		res := Dijkstra(g, 0)
+		for v := 1; v < g.N(); v++ {
+			if semiring.IsInf(res.Dist[v]) {
+				continue
+			}
+			h := res.Hops[v]
+			if BellmanFord(g, 0, h)[v] != res.Dist[v] {
+				return false
+			}
+			if h > 0 && BellmanFord(g, 0, h-1)[v] <= res.Dist[v] {
+				// Fewer hops must not achieve the same (min-hop) distance...
+				// except that Hops is min over shortest paths, so equality
+				// would contradict minimality.
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickIORoundTrip(t *testing.T) {
+	f := func(q quickGraph) bool {
+		var buf bytes.Buffer
+		if err := Write(&buf, q.G); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if got.N() != q.G.N() || got.M() != q.G.M() {
+			return false
+		}
+		a, b := q.G.Edges(), got.Edges()
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}

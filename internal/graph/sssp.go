@@ -1,0 +1,197 @@
+package graph
+
+import (
+	"container/heap"
+
+	"parmbf/internal/semiring"
+)
+
+// This file implements the classical single-source algorithms that serve as
+// ground truth for the MBF-like machinery: Dijkstra (with predecessor and
+// min-hop tracking), hop-limited Bellman-Ford for h-hop distances
+// dist^h(v,·,G), and the derived SPD/hop-diameter computations of §1.2.
+
+// pqItem is a binary-heap entry for Dijkstra.
+type pqItem struct {
+	node Node
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// SSSPResult holds the output of a single-source shortest-path computation.
+type SSSPResult struct {
+	Source Node
+	// Dist[v] = dist(source, v, G); ∞ if unreachable.
+	Dist []float64
+	// Parent[v] is the predecessor of v on a shortest source-v path, or -1
+	// for the source and unreachable nodes.
+	Parent []Node
+	// Hops[v] is the minimum hop count over all shortest source-v paths
+	// (hop(source, v, G) in the paper's notation); 0 for the source and
+	// undefined (0) for unreachable nodes.
+	Hops []int
+}
+
+// Dijkstra computes exact distances from source, together with a shortest
+// path tree that minimises hops among shortest paths (relaxation uses the
+// lexicographic key (dist, hops), so Hops[v] = hop(source, v, G)).
+func Dijkstra(g *Graph, source Node) *SSSPResult {
+	n := g.N()
+	res := &SSSPResult{
+		Source: source,
+		Dist:   make([]float64, n),
+		Parent: make([]Node, n),
+		Hops:   make([]int, n),
+	}
+	for v := range res.Dist {
+		res.Dist[v] = semiring.Inf
+		res.Parent[v] = -1
+	}
+	res.Dist[source] = 0
+	done := make([]bool, n)
+	q := pq{{node: source, dist: 0}}
+	for len(q) > 0 {
+		it := heap.Pop(&q).(pqItem)
+		v := it.node
+		if done[v] {
+			continue
+		}
+		done[v] = true
+		for _, a := range g.adj[v] {
+			nd := res.Dist[v] + a.Weight
+			nh := res.Hops[v] + 1
+			w := a.To
+			if nd < res.Dist[w] || (nd == res.Dist[w] && !done[w] && nh < res.Hops[w]) {
+				res.Dist[w] = nd
+				res.Hops[w] = nh
+				res.Parent[w] = v
+				heap.Push(&q, pqItem{node: w, dist: nd})
+			}
+		}
+	}
+	return res
+}
+
+// PathTo reconstructs the shortest path from the result's source to v as a
+// node sequence, or nil if v is unreachable.
+func (r *SSSPResult) PathTo(v Node) []Node {
+	if semiring.IsInf(r.Dist[v]) {
+		return nil
+	}
+	var rev []Node
+	for u := v; u != -1; u = r.Parent[u] {
+		rev = append(rev, u)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// BellmanFord computes the h-hop distances dist^h(source, ·, G): the minimum
+// weight over source-v paths of at most h edges (∞ where no such path
+// exists). It is the reference implementation the MBF-like engine is tested
+// against (Lemma 3.1).
+func BellmanFord(g *Graph, source Node, h int) []float64 {
+	n := g.N()
+	dist := make([]float64, n)
+	for v := range dist {
+		dist[v] = semiring.Inf
+	}
+	dist[source] = 0
+	next := make([]float64, n)
+	for i := 0; i < h; i++ {
+		copy(next, dist)
+		changed := false
+		for v := 0; v < n; v++ {
+			if semiring.IsInf(dist[v]) {
+				continue
+			}
+			for _, a := range g.adj[v] {
+				if nd := dist[v] + a.Weight; nd < next[a.To] {
+					next[a.To] = nd
+					changed = true
+				}
+			}
+		}
+		dist, next = next, dist
+		if !changed {
+			break
+		}
+	}
+	return dist
+}
+
+// HopLimitedDistance returns dist^h(u, v, G) for a single pair.
+func HopLimitedDistance(g *Graph, u, v Node, h int) float64 {
+	return BellmanFord(g, u, h)[v]
+}
+
+// SPDFrom returns max_v hop(source, v, G): the maximum, over all targets, of
+// the minimum hop count among shortest paths from source.
+func SPDFrom(g *Graph, source Node) int {
+	res := Dijkstra(g, source)
+	max := 0
+	for v := 0; v < g.N(); v++ {
+		if !semiring.IsInf(res.Dist[v]) && res.Hops[v] > max {
+			max = res.Hops[v]
+		}
+	}
+	return max
+}
+
+// SPD computes the shortest path diameter SPD(G) = max over pairs v,w of
+// hop(v, w, G), the number of MBF iterations needed to reach a fixpoint
+// (§1.2). It runs one Dijkstra per node.
+func SPD(g *Graph) int {
+	max := 0
+	for v := 0; v < g.N(); v++ {
+		if s := SPDFrom(g, Node(v)); s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// HopDiameter computes D(G), the unweighted hop diameter: the maximum over
+// pairs of the minimum number of edges on any connecting path.
+func HopDiameter(g *Graph) int {
+	n := g.N()
+	max := 0
+	depth := make([]int, n)
+	queue := make([]Node, 0, n)
+	for s := 0; s < n; s++ {
+		for i := range depth {
+			depth[i] = -1
+		}
+		queue = queue[:0]
+		queue = append(queue, Node(s))
+		depth[s] = 0
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			for _, a := range g.adj[v] {
+				if depth[a.To] == -1 {
+					depth[a.To] = depth[v] + 1
+					if depth[a.To] > max {
+						max = depth[a.To]
+					}
+					queue = append(queue, a.To)
+				}
+			}
+		}
+	}
+	return max
+}

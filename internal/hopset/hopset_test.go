@@ -1,0 +1,173 @@
+package hopset
+
+import (
+	"math"
+	"testing"
+
+	"parmbf/internal/graph"
+	"parmbf/internal/par"
+	"parmbf/internal/semiring"
+)
+
+func TestNoneIsIdentity(t *testing.T) {
+	g := graph.PathGraph(10, 1)
+	r := None(g)
+	if r.Graph != g || r.Added != 0 || r.EpsHat != 0 {
+		t.Fatal("None must return the input graph unchanged")
+	}
+	if r.D != 9 {
+		t.Fatalf("D = %d, want n-1 = 9", r.D)
+	}
+}
+
+func TestSkeletonPreservesDistancesExactly(t *testing.T) {
+	rng := par.NewRNG(1)
+	g := graph.RandomConnected(80, 200, 10, rng)
+	r := Skeleton(g, 6, 2, rng, nil)
+	// Hop-set edges carry path weights, so they must not change any
+	// distance.
+	for _, src := range []graph.Node{0, 13, 79} {
+		before := graph.Dijkstra(g, src).Dist
+		after := graph.Dijkstra(r.Graph, src).Dist
+		for v := range before {
+			if before[v] != after[v] {
+				t.Fatalf("skeleton changed dist(%d,%d): %v → %v", src, v, before[v], after[v])
+			}
+		}
+	}
+}
+
+func TestSkeletonHopBoundHolds(t *testing.T) {
+	rng := par.NewRNG(2)
+	// A long path stresses the hop bound most.
+	g := graph.PathGraph(120, 1)
+	r := Skeleton(g, 8, 3, rng, nil)
+	if r.D >= g.N()-1 {
+		t.Fatalf("skeleton hop bound %d did not improve over n-1", r.D)
+	}
+	// Every pair must satisfy dist^D(v,w,G') = dist(v,w,G) (ε̂ = 0).
+	for _, v := range []graph.Node{0, 30, 60} {
+		exact := graph.Dijkstra(g, v).Dist
+		hopd := graph.BellmanFord(r.Graph, v, r.D)
+		for w := range exact {
+			if hopd[w] != exact[w] {
+				t.Fatalf("dist^%d(%d,%d) = %v, want %v", r.D, v, w, hopd[w], exact[w])
+			}
+		}
+	}
+}
+
+func TestSkeletonAddsEdges(t *testing.T) {
+	rng := par.NewRNG(3)
+	g := graph.PathGraph(100, 1)
+	r := Skeleton(g, 8, 3, rng, nil)
+	if r.Added == 0 {
+		t.Fatal("skeleton added no edges on a long path")
+	}
+	if r.Graph.M() != g.M()+r.Added {
+		t.Fatalf("edge accounting wrong: %d vs %d+%d", r.Graph.M(), g.M(), r.Added)
+	}
+	if g.M() != 99 {
+		t.Fatal("input graph was modified")
+	}
+}
+
+func TestDefaultSkeletonOnRandomGraph(t *testing.T) {
+	rng := par.NewRNG(4)
+	g := graph.RandomConnected(150, 350, 8, rng)
+	r := DefaultSkeleton(g, rng, nil)
+	maxRatio, minRatio := Measure(g, r, 30, rng)
+	if maxRatio > 1 {
+		t.Fatalf("skeleton hop set not exact: max ratio %v", maxRatio)
+	}
+	if minRatio < 1 {
+		t.Fatalf("hop set shortened distances: min ratio %v", minRatio)
+	}
+}
+
+func TestSkeletonTracksWork(t *testing.T) {
+	rng := par.NewRNG(5)
+	g := graph.RandomConnected(50, 120, 5, rng)
+	tr := &par.Tracker{}
+	Skeleton(g, 5, 2, rng, tr)
+	if tr.Work() == 0 || tr.Depth() == 0 {
+		t.Fatal("tracker not charged")
+	}
+}
+
+func TestLandmarkTwoHopProperty(t *testing.T) {
+	rng := par.NewRNG(6)
+	g := graph.RandomConnected(60, 150, 6, rng)
+	r := Landmark(g, 5, rng, nil)
+	if r.D != 2 {
+		t.Fatalf("D = %d, want 2", r.D)
+	}
+	if !math.IsNaN(r.EpsHat) {
+		t.Fatal("landmark ε̂ should be NaN (workload-dependent)")
+	}
+	// Distances must be preserved exactly by the augmentation...
+	for _, src := range []graph.Node{0, 25} {
+		before := graph.Dijkstra(g, src).Dist
+		after := graph.Dijkstra(r.Graph, src).Dist
+		for v := range before {
+			if before[v] != after[v] {
+				t.Fatalf("landmark changed dist(%d,%d)", src, v)
+			}
+		}
+	}
+	// ...and 2-hop distances must at least be finite everywhere and at
+	// most the worst detour through the farthest landmark.
+	v := graph.Node(0)
+	hop2 := graph.BellmanFord(r.Graph, v, 2)
+	for w := range hop2 {
+		if semiring.IsInf(hop2[w]) {
+			t.Fatalf("node %d unreachable in 2 hops after landmark augmentation", w)
+		}
+	}
+}
+
+func TestLandmarkMeasuredStretchReasonable(t *testing.T) {
+	rng := par.NewRNG(7)
+	g := graph.GridGraph(10, 10, 4, rng)
+	r := Landmark(g, 8, rng, nil)
+	maxRatio, minRatio := Measure(g, r, 40, rng)
+	if minRatio < 1 {
+		t.Fatalf("landmark shortened distances: %v", minRatio)
+	}
+	// With 8 landmarks on a 10×10 grid the two-hop detour should stay well
+	// below the trivial worst case (diameter ratio). This is a sanity bound,
+	// not a theorem: 10× would indicate a broken construction.
+	if maxRatio > 10 {
+		t.Fatalf("landmark stretch implausibly large: %v", maxRatio)
+	}
+}
+
+func TestLandmarkCountClamped(t *testing.T) {
+	rng := par.NewRNG(8)
+	g := graph.PathGraph(5, 1)
+	r := Landmark(g, 100, rng, nil)
+	// All nodes become landmarks: the graph becomes a complete graph on
+	// reachable pairs with exact weights.
+	if r.D != 2 {
+		t.Fatal("D must stay 2")
+	}
+	exact := graph.Dijkstra(g, 0).Dist
+	hop2 := graph.BellmanFord(r.Graph, 0, 2)
+	for v := range exact {
+		if hop2[v] != exact[v] {
+			t.Fatalf("full landmark set not exact at node %d", v)
+		}
+	}
+}
+
+func TestSkeletonOnTinyGraph(t *testing.T) {
+	rng := par.NewRNG(9)
+	g := graph.PathGraph(2, 1)
+	r := Skeleton(g, 1, 2, rng, nil)
+	if r.D < 1 {
+		t.Fatalf("D = %d", r.D)
+	}
+	if d := graph.BellmanFord(r.Graph, 0, r.D)[1]; d != 1 {
+		t.Fatalf("tiny graph distance %v", d)
+	}
+}

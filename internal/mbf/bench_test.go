@@ -1,0 +1,53 @@
+package mbf
+
+import (
+	"testing"
+
+	"parmbf/internal/graph"
+	"parmbf/internal/par"
+)
+
+func BenchmarkSSSPIteration(b *testing.B) {
+	g := graph.RandomConnected(1024, 4096, 8, par.NewRNG(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SSSP(g, 0, 10, nil)
+	}
+}
+
+func BenchmarkKSSP(b *testing.B) {
+	g := graph.RandomConnected(512, 2048, 8, par.NewRNG(2))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		KSSP(g, 4, 10, nil)
+	}
+}
+
+func BenchmarkAPSP10Hops(b *testing.B) {
+	g := graph.RandomConnected(256, 1024, 8, par.NewRNG(3))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		APSP(g, 10, nil)
+	}
+}
+
+func BenchmarkWidestPaths(b *testing.B) {
+	g := graph.RandomConnected(512, 2048, 8, par.NewRNG(4))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SSWP(g, 0, g.N(), nil)
+	}
+}
+
+func BenchmarkRoutingTablesTop8(b *testing.B) {
+	g := graph.RandomConnected(256, 1024, 8, par.NewRNG(5))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RoutingTables(g, 8, 12, nil)
+	}
+}

@@ -1,0 +1,168 @@
+// Package mbf implements the generic Moore-Bellman-Ford-like algorithm
+// engine of §2 of Friedrichs & Lenzen, together with the algorithm zoo of §3
+// built on top of it.
+//
+// An MBF-like algorithm is a triple (semimodule over a semiring, congruence
+// relation with representative projection r, initial state vector x(0)); h
+// iterations compute r^V A^h x(0), where A is the graph's adjacency matrix
+// over the semiring (Definition 2.11). One iteration is
+//
+//	x'(v) = r( ⊕_{w ∈ V} a_{vw} ⊙ x(w) )
+//	      = r( x(v) ⊕ ⊕_{{v,w} ∈ E} a_{vw} ⊙ x(w) ),
+//
+// since the adjacency matrix carries the multiplicative identity on its
+// diagonal (each node keeps its own state) and the semiring zero for
+// non-edges (nothing propagates). Corollary 2.17 (r^V ∼ id) lets the engine
+// filter after every iteration without changing the output; this is what
+// keeps intermediate states small and the work near-linear.
+package mbf
+
+import (
+	"parmbf/internal/graph"
+	"parmbf/internal/par"
+	"parmbf/internal/semiring"
+)
+
+// Runner executes MBF-like iterations of one algorithm on one graph.
+//
+// The semiring element type S is the type of adjacency-matrix entries; the
+// module type M is the type of node states. Weight translates a graph arc
+// into its adjacency-matrix entry a_{from,to} — for the min-plus and max-min
+// algebras this is simply the edge weight, for the all-paths semiring it is
+// the single-edge path set, and for the Boolean semiring it is "true".
+type Runner[S, M any] struct {
+	// Graph is the input graph G.
+	Graph *graph.Graph
+	// Module is the zero-preserving semimodule M over the semiring.
+	Module semiring.Semimodule[S, M]
+	// Filter is the representative projection r. Nil means the identity.
+	Filter semiring.Filter[M]
+	// Weight translates the arc from→to of weight w into a_{from,to} ∈ S.
+	Weight func(from, to graph.Node, w float64) S
+	// Size measures the representation size of a node state (e.g. the
+	// number of non-∞ entries of a distance map, Lemma 2.3). It is used for
+	// work accounting only; nil means size 1 per state.
+	Size func(M) int
+	// Tracker, if non-nil, is charged the work/depth of every iteration in
+	// the DAG cost model of §1.2.
+	Tracker *par.Tracker
+}
+
+func (r *Runner[S, M]) size(x M) int {
+	if r.Size == nil {
+		return 1
+	}
+	return r.Size(x)
+}
+
+func (r *Runner[S, M]) filter(x M) M {
+	if r.Filter == nil {
+		return x
+	}
+	return r.Filter(x)
+}
+
+// Iterate performs one MBF-like iteration x ↦ r^V(Ax), parallelised over
+// nodes. The input is not modified.
+func (r *Runner[S, M]) Iterate(x []M) []M {
+	g := r.Graph
+	n := g.N()
+	if len(x) != n {
+		panic("mbf: state vector length does not match graph size")
+	}
+	out := make([]M, n)
+	var workPerNode []int64
+	if r.Tracker != nil {
+		workPerNode = make([]int64, n)
+	}
+	par.ForEach(n, func(vi int) {
+		v := graph.Node(vi)
+		// Diagonal term: a_{vv} = 1, so the node keeps its own state.
+		acc := x[vi]
+		work := int64(r.size(acc))
+		for _, a := range g.Neighbors(v) {
+			// Propagate the neighbor's state over the edge, then aggregate.
+			s := r.Weight(v, a.To, a.Weight)
+			propagated := r.Module.SMul(s, x[a.To])
+			acc = r.Module.Add(acc, propagated)
+			work += int64(r.size(propagated))
+		}
+		out[vi] = r.filter(acc)
+		if workPerNode != nil {
+			workPerNode[vi] = work + int64(r.size(out[vi]))
+		}
+	})
+	if r.Tracker != nil {
+		var total, max int64
+		for _, w := range workPerNode {
+			total += w
+			if w > max {
+				max = w
+			}
+		}
+		// Aggregation of k items costs O(log k) depth (Lemma 2.3); we charge
+		// one depth unit per iteration plus the critical node's log-factor,
+		// approximated by 1 since sizes are polylogarithmic after filtering.
+		r.Tracker.AddPhase(total, 1)
+	}
+	return out
+}
+
+// Run performs h iterations starting from x0 and returns r^V A^h x(0).
+// The initial filter application is included (states are kept filtered
+// throughout, which Corollary 2.17 shows is equivalent).
+func (r *Runner[S, M]) Run(x0 []M, h int) []M {
+	x := make([]M, len(x0))
+	for i, s := range x0 {
+		x[i] = r.filter(s)
+	}
+	for i := 0; i < h; i++ {
+		x = r.Iterate(x)
+	}
+	return x
+}
+
+// RunToFixpoint iterates until the filtered state vector stops changing or
+// maxIter iterations have run, returning the final states and the number of
+// iterations performed. A fixpoint is reached after at most SPD(G)
+// iterations for the distance algebras (§1.2).
+func (r *Runner[S, M]) RunToFixpoint(x0 []M, maxIter int) ([]M, int) {
+	x := make([]M, len(x0))
+	for i, s := range x0 {
+		x[i] = r.filter(s)
+	}
+	for it := 0; it < maxIter; it++ {
+		next := r.Iterate(x)
+		if r.statesEqual(x, next) {
+			return next, it
+		}
+		x = next
+	}
+	return x, maxIter
+}
+
+func (r *Runner[S, M]) statesEqual(x, y []M) bool {
+	eq := par.Reduce(len(x), true,
+		func(i int) bool { return r.Module.Equal(x[i], y[i]) },
+		func(a, b bool) bool { return a && b })
+	return eq
+}
+
+// MinPlusWeight is the Weight function of the min-plus algebras: the
+// adjacency entry is the edge weight itself (Equation 1.4).
+func MinPlusWeight(_, _ graph.Node, w float64) float64 { return w }
+
+// MaxMinWeight is the Weight function of the max-min algebras
+// (Equation 3.9).
+func MaxMinWeight(_, _ graph.Node, w float64) float64 { return w }
+
+// BoolWeight is the Weight function of the Boolean algebra
+// (Equation 3.28): every edge propagates.
+func BoolWeight(_, _ graph.Node, _ float64) bool { return true }
+
+// PathWeight is the Weight function of the all-paths semiring
+// (Equation 3.18): the arc from→to becomes the single-edge path (from, to)
+// with its weight.
+func PathWeight(from, to graph.Node, w float64) semiring.PathSet {
+	return semiring.PathSet{semiring.MakePath(from, to): w}
+}

@@ -1,0 +1,122 @@
+package mbf
+
+import (
+	"testing"
+
+	"parmbf/internal/graph"
+	"parmbf/internal/par"
+	"parmbf/internal/semiring"
+)
+
+// followRoutes walks next-hop pointers from v towards target, accumulating
+// edge weights; it returns the travelled distance and whether the walk
+// reached the target within n hops.
+func followRoutes(g *graph.Graph, tables []semiring.RouteMap, v, target graph.Node) (float64, bool) {
+	total := 0.0
+	cur := v
+	for step := 0; step <= g.N(); step++ {
+		if cur == target {
+			return total, true
+		}
+		r, ok := tables[cur].Get(target)
+		if !ok || r.Next == semiring.NoVia {
+			return total, false
+		}
+		w, ok := g.HasEdge(cur, r.Next)
+		if !ok {
+			return total, false
+		}
+		total += w
+		cur = r.Next
+	}
+	return total, false
+}
+
+func TestRoutingTablesExactDistances(t *testing.T) {
+	rng := par.NewRNG(1)
+	g := graph.RandomConnected(40, 100, 6, rng)
+	tables := RoutingTables(g, 0, g.N(), nil)
+	exact := graph.APSPDijkstra(g)
+	for v := 0; v < g.N(); v++ {
+		if len(tables[v]) != g.N() {
+			t.Fatalf("node %d has %d routes, want %d", v, len(tables[v]), g.N())
+		}
+		for w := 0; w < g.N(); w++ {
+			r, ok := tables[v].Get(graph.Node(w))
+			if !ok {
+				t.Fatalf("node %d missing route to %d", v, w)
+			}
+			if r.Dist != exact.At(v, w) {
+				t.Fatalf("route (%d,%d): dist %v, want %v", v, w, r.Dist, exact.At(v, w))
+			}
+		}
+	}
+}
+
+func TestRoutingTablesNextHopsForm_ShortestPaths(t *testing.T) {
+	rng := par.NewRNG(2)
+	g := graph.RandomConnected(35, 80, 6, rng)
+	tables := RoutingTables(g, 0, g.N(), nil)
+	exact := graph.APSPDijkstra(g)
+	for v := 0; v < g.N(); v++ {
+		for w := 0; w < g.N(); w++ {
+			if v == w {
+				continue
+			}
+			got, reached := followRoutes(g, tables, graph.Node(v), graph.Node(w))
+			if !reached {
+				t.Fatalf("routing from %d to %d did not reach the target", v, w)
+			}
+			if got != exact.At(v, w) {
+				t.Fatalf("routing (%d,%d) travelled %v, want %v", v, w, got, exact.At(v, w))
+			}
+		}
+	}
+}
+
+func TestRoutingTablesSelfRoute(t *testing.T) {
+	g := graph.PathGraph(5, 1)
+	tables := RoutingTables(g, 0, g.N(), nil)
+	for v := 0; v < g.N(); v++ {
+		r, ok := tables[v].Get(graph.Node(v))
+		if !ok || r.Dist != 0 || r.Next != semiring.NoVia {
+			t.Fatalf("self route of %d wrong: %+v", v, r)
+		}
+	}
+}
+
+func TestRoutingTablesTopK(t *testing.T) {
+	rng := par.NewRNG(3)
+	g := graph.RandomConnected(30, 70, 5, rng)
+	const k = 4
+	tables := RoutingTables(g, k, g.N(), nil)
+	exact := graph.APSPDijkstra(g)
+	for v := 0; v < g.N(); v++ {
+		if len(tables[v]) != k {
+			t.Fatalf("node %d keeps %d routes, want %d", v, len(tables[v]), k)
+		}
+		// Every kept route is exact and among the k nearest.
+		kept := 0
+		for w := 0; w < g.N(); w++ {
+			if r, ok := tables[v].Get(graph.Node(w)); ok {
+				if r.Dist != exact.At(v, w) {
+					t.Fatalf("top-k route (%d,%d) dist %v, want %v", v, w, r.Dist, exact.At(v, w))
+				}
+				kept++
+			}
+		}
+		if kept != k {
+			t.Fatalf("node %d: %d routes via Get", v, kept)
+		}
+	}
+}
+
+func TestRouteMapGetAbsent(t *testing.T) {
+	x := semiring.RouteMap{{Target: 3, Dist: 1, Next: 2}}
+	if _, ok := x.Get(5); ok {
+		t.Fatal("absent target found")
+	}
+	if _, ok := x.Get(1); ok {
+		t.Fatal("absent target found (before)")
+	}
+}

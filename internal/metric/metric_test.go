@@ -1,0 +1,94 @@
+package metric
+
+import (
+	"testing"
+
+	"parmbf/internal/graph"
+	"parmbf/internal/par"
+)
+
+func TestApproximateWithinGuarantee(t *testing.T) {
+	rng := par.NewRNG(1)
+	g := graph.RandomConnected(50, 120, 8, rng)
+	res := Approximate(g, rng, nil)
+	exact := graph.APSPDijkstra(g)
+	for v := 0; v < g.N(); v++ {
+		for w := 0; w < g.N(); w++ {
+			if v == w {
+				continue
+			}
+			got, want := res.Matrix.At(v, w), exact.At(v, w)
+			if got < want-1e-9 {
+				t.Fatalf("(%d,%d): approximate %v below exact %v", v, w, got, want)
+			}
+			if got > res.MaxRatio*want+1e-9 {
+				t.Fatalf("(%d,%d): approximate %v exceeds %v × exact %v", v, w, got, res.MaxRatio, want)
+			}
+		}
+	}
+	if res.MaxRatio > 1.5 {
+		t.Fatalf("a-priori ratio %v not (1+o(1))-ish", res.MaxRatio)
+	}
+}
+
+func TestApproximateIsAMetric(t *testing.T) {
+	rng := par.NewRNG(2)
+	g := graph.RandomConnected(40, 90, 5, rng)
+	res := Approximate(g, rng, nil)
+	if !res.Matrix.IsMetric(1e-6) {
+		t.Fatal("approximate metric violates metric axioms")
+	}
+}
+
+func TestApproximatePolylogIterations(t *testing.T) {
+	rng := par.NewRNG(3)
+	g := graph.PathGraph(150, 1) // SPD(G) = 149
+	res := Approximate(g, rng, nil)
+	if res.Iterations >= 149 {
+		t.Fatalf("oracle needed %d iterations, no better than SPD", res.Iterations)
+	}
+}
+
+func TestApproximateSparseWithinGuarantee(t *testing.T) {
+	rng := par.NewRNG(4)
+	g := graph.RandomConnected(60, 400, 6, rng)
+	const k = 2
+	res := ApproximateSparse(g, k, rng, nil)
+	exact := graph.APSPDijkstra(g)
+	for v := 0; v < g.N(); v++ {
+		for w := 0; w < g.N(); w++ {
+			if v == w {
+				continue
+			}
+			got, want := res.Matrix.At(v, w), exact.At(v, w)
+			if got < want-1e-9 {
+				t.Fatalf("(%d,%d): %v below exact %v", v, w, got, want)
+			}
+			if got > res.MaxRatio*want+1e-9 {
+				t.Fatalf("(%d,%d): %v exceeds guarantee %v×%v", v, w, got, res.MaxRatio, want)
+			}
+		}
+	}
+}
+
+func TestApproximateSparseDefaultK(t *testing.T) {
+	rng := par.NewRNG(5)
+	g := graph.RandomConnected(30, 100, 4, rng)
+	res := ApproximateSparse(g, 0, rng, nil)
+	if res.MaxRatio < 3 {
+		t.Fatalf("sparse guarantee %v should include spanner stretch ≥ 3", res.MaxRatio)
+	}
+	if !res.Matrix.IsMetric(1e-6) {
+		t.Fatal("sparse approximate metric violates metric axioms")
+	}
+}
+
+func TestApproximateTracksWork(t *testing.T) {
+	rng := par.NewRNG(6)
+	g := graph.RandomConnected(30, 70, 4, rng)
+	tr := &par.Tracker{}
+	Approximate(g, rng, tr)
+	if tr.Work() == 0 {
+		t.Fatal("tracker not charged")
+	}
+}

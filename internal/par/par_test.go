@@ -1,0 +1,300 @@
+package par
+
+import (
+	"sort"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 100, 1000} {
+		seen := make([]atomic.Int32, n)
+		ForEach(n, func(i int) { seen[i].Add(1) })
+		for i := range seen {
+			if got := seen[i].Load(); got != 1 {
+				t.Fatalf("n=%d index %d visited %d times, want 1", n, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachSequentialFallback(t *testing.T) {
+	old := MaxProcs
+	defer func() { MaxProcs = old }()
+	MaxProcs = 1
+	var order []int
+	ForEach(5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("sequential fallback out of order: %v", order)
+		}
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	for _, n := range []int{0, 1, 17, 1024} {
+		got := Reduce(n, 0, func(i int) int { return i }, func(a, b int) int { return a + b })
+		want := n * (n - 1) / 2
+		if got != want {
+			t.Fatalf("Reduce sum n=%d: got %d want %d", n, got, want)
+		}
+	}
+}
+
+func TestReduceMax(t *testing.T) {
+	vals := []int{3, 9, 2, 41, 7, 41, 0}
+	got := Reduce(len(vals), -1,
+		func(i int) int { return vals[i] },
+		func(a, b int) int {
+			if a > b {
+				return a
+			}
+			return b
+		})
+	if got != 41 {
+		t.Fatalf("Reduce max: got %d want 41", got)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed generators diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	for i := 0; i < 10; i++ {
+		if NewRNG(42).Uint64() == c.Uint64() {
+			continue
+		}
+		same = false
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	r := NewRNG(7)
+	s := r.Split()
+	// The split stream must not simply replay the parent stream.
+	equal := 0
+	for i := 0; i < 64; i++ {
+		if r.Uint64() == s.Uint64() {
+			equal++
+		}
+	}
+	if equal > 2 {
+		t.Fatalf("split stream correlates with parent: %d/64 equal draws", equal)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(2)
+	counts := make([]int, 10)
+	for i := 0; i < 100000; i++ {
+		counts[r.Intn(10)]++
+	}
+	for v, c := range counts {
+		if c < 8500 || c > 11500 {
+			t.Fatalf("Intn(10) badly skewed: value %d drawn %d/100000 times", v, c)
+		}
+	}
+}
+
+func TestRNGIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(3).Intn(0)
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	r := NewRNG(11)
+	check := func(n uint8) bool {
+		p := r.Perm(int(n))
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= int(n) || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return len(p) == int(n)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGGeometricMean(t *testing.T) {
+	r := NewRNG(5)
+	const trials = 200000
+	sum := 0
+	for i := 0; i < trials; i++ {
+		sum += r.Geometric(0.5)
+	}
+	mean := float64(sum) / trials
+	// E[Geometric(1/2)] = 1 (number of successes before first failure).
+	if mean < 0.93 || mean > 1.07 {
+		t.Fatalf("Geometric(0.5) mean %.3f, want ~1.0", mean)
+	}
+}
+
+func TestMul64(t *testing.T) {
+	cases := []struct {
+		a, b, hi, lo uint64
+	}{
+		{0, 0, 0, 0},
+		{1, 1, 0, 1},
+		{1 << 63, 2, 1, 0},
+		{^uint64(0), ^uint64(0), ^uint64(0) - 1, 1},
+	}
+	for _, c := range cases {
+		hi, lo := mul64(c.a, c.b)
+		if hi != c.hi || lo != c.lo {
+			t.Fatalf("mul64(%d,%d) = (%d,%d), want (%d,%d)", c.a, c.b, hi, lo, c.hi, c.lo)
+		}
+	}
+}
+
+func TestTrackerNilSafe(t *testing.T) {
+	var tr *Tracker
+	tr.AddWork(5)
+	tr.AddDepth(3)
+	tr.AddPhase(1, 1)
+	tr.MaxDepth(10)
+	tr.Reset()
+	if tr.Work() != 0 || tr.Depth() != 0 {
+		t.Fatal("nil tracker should report zero")
+	}
+}
+
+func TestTrackerAccumulates(t *testing.T) {
+	tr := &Tracker{}
+	tr.AddWork(10)
+	tr.AddPhase(5, 2)
+	tr.AddDepth(1)
+	if tr.Work() != 15 {
+		t.Fatalf("work = %d, want 15", tr.Work())
+	}
+	if tr.Depth() != 3 {
+		t.Fatalf("depth = %d, want 3", tr.Depth())
+	}
+	tr.Reset()
+	if tr.Work() != 0 || tr.Depth() != 0 {
+		t.Fatal("Reset did not clear counters")
+	}
+}
+
+func TestTrackerMaxDepth(t *testing.T) {
+	tr := &Tracker{}
+	tr.AddDepth(5)
+	tr.MaxDepth(3) // no-op, 5 > 3
+	if tr.Depth() != 5 {
+		t.Fatalf("depth = %d, want 5", tr.Depth())
+	}
+	tr.MaxDepth(9)
+	if tr.Depth() != 9 {
+		t.Fatalf("depth = %d, want 9", tr.Depth())
+	}
+}
+
+func TestTrackerConcurrent(t *testing.T) {
+	tr := &Tracker{}
+	ForEach(1000, func(i int) { tr.AddWork(1) })
+	if tr.Work() != 1000 {
+		t.Fatalf("concurrent work = %d, want 1000", tr.Work())
+	}
+}
+
+func BenchmarkForEach(b *testing.B) {
+	var sink atomic.Int64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ForEach(1024, func(j int) { sink.Add(int64(j & 1)) })
+	}
+}
+
+func BenchmarkRNGUint64(b *testing.B) {
+	r := NewRNG(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= r.Uint64()
+	}
+	_ = sink
+}
+
+func TestSortSmallAndLarge(t *testing.T) {
+	rng := NewRNG(1)
+	for _, n := range []int{0, 1, 2, 100, sortGrain - 1, sortGrain + 1, 5 * sortGrain} {
+		s := make([]int, n)
+		for i := range s {
+			s[i] = int(rng.Uint64() % 100000)
+		}
+		Sort(s, func(a, b int) bool { return a < b })
+		for i := 1; i < n; i++ {
+			if s[i-1] > s[i] {
+				t.Fatalf("n=%d: not sorted at %d", n, i)
+			}
+		}
+	}
+}
+
+func TestSortMatchesStdlib(t *testing.T) {
+	rng := NewRNG(2)
+	n := 3*sortGrain + 17
+	a := make([]float64, n)
+	for i := range a {
+		a[i] = rng.Float64()
+	}
+	b := append([]float64(nil), a...)
+	Sort(a, func(x, y float64) bool { return x < y })
+	sort.Float64s(b)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}
+
+func TestSortSequentialFallbackWhenSingleProc(t *testing.T) {
+	old := MaxProcs
+	defer func() { MaxProcs = old }()
+	MaxProcs = 1
+	s := []int{5, 2, 9, 1}
+	Sort(s, func(a, b int) bool { return a < b })
+	if s[0] != 1 || s[3] != 9 {
+		t.Fatalf("sorted = %v", s)
+	}
+}
+
+func BenchmarkParSort(b *testing.B) {
+	rng := NewRNG(3)
+	base := make([]float64, 1<<16)
+	for i := range base {
+		base[i] = rng.Float64()
+	}
+	work := make([]float64, len(base))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, base)
+		Sort(work, func(x, y float64) bool { return x < y })
+	}
+}

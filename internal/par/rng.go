@@ -1,0 +1,112 @@
+package par
+
+// RNG is a small, fast, deterministic splittable pseudo-random number
+// generator based on SplitMix64. Every source of randomness in the library
+// (level sampling, node permutations, graph generators, β) flows from a
+// single seed through RNG so that all experiments are reproducible.
+//
+// RNG is not safe for concurrent use; use Split to derive independent
+// generators for parallel workers.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// splitmix64 advances s and returns the next output.
+func splitmix64(s *uint64) uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := *s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint64 returns the next pseudo-random 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	return splitmix64(&r.state)
+}
+
+// Split derives an independent generator from r. The derived stream is
+// decorrelated from r's future outputs by mixing a fresh draw with a distinct
+// odd constant.
+func (r *RNG) Split() *RNG {
+	return &RNG{state: r.Uint64() ^ 0xa5a5a5a5a5a5a5a5}
+}
+
+// SplitN derives n independent generators, e.g. one per parallel worker.
+func (r *RNG) SplitN(n int) []*RNG {
+	out := make([]*RNG, n)
+	for i := range out {
+		out[i] = r.Split()
+	}
+	return out
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("par: Intn with non-positive n")
+	}
+	// Lemire's multiply-shift rejection method for unbiased bounded ints.
+	bound := uint64(n)
+	for {
+		v := r.Uint64()
+		hi, lo := mul64(v, bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 1<<32 - 1
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	t := aLo*bHi + (aLo*bLo)>>32
+	w1 := t & mask
+	w2 := t >> 32
+	w1 += aHi * bLo
+	hi = aHi*bHi + w2 + (w1 >> 32)
+	lo = a * b
+	return
+}
+
+// Bool returns true with probability 1/2.
+func (r *RNG) Bool() bool {
+	return r.Uint64()&1 == 1
+}
+
+// Perm returns a uniformly random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Geometric returns the number of consecutive successes of independent
+// p-biased coin flips, i.e. a sample of the geometric distribution counting
+// levels in the paper's level-sampling step (§4): starting at 0, increment
+// while a coin with success probability p comes up heads.
+func (r *RNG) Geometric(p float64) int {
+	k := 0
+	for r.Float64() < p {
+		k++
+	}
+	return k
+}

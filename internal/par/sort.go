@@ -1,0 +1,62 @@
+package par
+
+import "sort"
+
+// Sort sorts s by less using a parallel merge sort: the slice is split
+// recursively until pieces fall below a grain size, pieces are sorted with
+// the standard library, and sorted halves are merged. It realises the
+// O(log n)-depth sorting step that Lemma 2.3 of the paper charges for
+// aggregating distance maps ([1] in the paper; here a practical multicore
+// variant rather than an AKS network).
+//
+// less must be a strict weak ordering; the sort is not stable.
+func Sort[T any](s []T, less func(a, b T) bool) {
+	if len(s) < sortGrain || MaxProcs <= 1 {
+		sort.Slice(s, func(i, j int) bool { return less(s[i], s[j]) })
+		return
+	}
+	buf := make([]T, len(s))
+	parallelMergeSort(s, buf, less, parDepth(MaxProcs))
+}
+
+// sortGrain is the size below which sequential sorting wins.
+const sortGrain = 1 << 12
+
+// parDepth returns ⌈log₂ procs⌉ + 1 splitting levels.
+func parDepth(procs int) int {
+	d := 1
+	for p := 1; p < procs; p *= 2 {
+		d++
+	}
+	return d
+}
+
+func parallelMergeSort[T any](s, buf []T, less func(a, b T) bool, depth int) {
+	if depth == 0 || len(s) < sortGrain {
+		sort.Slice(s, func(i, j int) bool { return less(s[i], s[j]) })
+		return
+	}
+	mid := len(s) / 2
+	done := make(chan struct{})
+	go func() {
+		parallelMergeSort(s[:mid], buf[:mid], less, depth-1)
+		close(done)
+	}()
+	parallelMergeSort(s[mid:], buf[mid:], less, depth-1)
+	<-done
+	// Merge into buf, then copy back.
+	i, j, k := 0, mid, 0
+	for i < mid && j < len(s) {
+		if less(s[j], s[i]) {
+			buf[k] = s[j]
+			j++
+		} else {
+			buf[k] = s[i]
+			i++
+		}
+		k++
+	}
+	copy(buf[k:], s[i:mid])
+	copy(buf[k+mid-i:], s[j:])
+	copy(s, buf)
+}

@@ -1,0 +1,80 @@
+package par
+
+import "sync/atomic"
+
+// Tracker realises the paper's abstract work/depth cost model (§1.2): the
+// computation is a DAG whose node count is the work and whose longest path is
+// the depth. Algorithms in this library accept an optional *Tracker and
+// charge work at the granularity of semiring operations / edge relaxations;
+// parallel phases record their depth as the maximum over branches plus the
+// phase's own critical path.
+//
+// A nil *Tracker is valid and free: all methods are nil-safe no-ops, so the
+// hot paths only pay an atomic add when instrumentation is requested.
+type Tracker struct {
+	work  atomic.Int64
+	depth atomic.Int64
+}
+
+// AddWork charges n units of work.
+func (t *Tracker) AddWork(n int64) {
+	if t != nil {
+		t.work.Add(n)
+	}
+}
+
+// AddDepth charges n units of sequential depth (a phase on the critical
+// path).
+func (t *Tracker) AddDepth(n int64) {
+	if t != nil {
+		t.depth.Add(n)
+	}
+}
+
+// AddPhase records a parallel phase: work is the phase's total operation
+// count and depth its critical path (max over the parallel branches).
+func (t *Tracker) AddPhase(work, depth int64) {
+	if t != nil {
+		t.work.Add(work)
+		t.depth.Add(depth)
+	}
+}
+
+// Work returns the accumulated work.
+func (t *Tracker) Work() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.work.Load()
+}
+
+// Depth returns the accumulated depth.
+func (t *Tracker) Depth() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.depth.Load()
+}
+
+// Reset clears both counters.
+func (t *Tracker) Reset() {
+	if t != nil {
+		t.work.Store(0)
+		t.depth.Store(0)
+	}
+}
+
+// MaxDepth updates the tracker's depth to at least d. It is used by parallel
+// phases where branches track their own depth and the phase contributes the
+// maximum.
+func (t *Tracker) MaxDepth(d int64) {
+	if t == nil {
+		return
+	}
+	for {
+		cur := t.depth.Load()
+		if d <= cur || t.depth.CompareAndSwap(cur, d) {
+			return
+		}
+	}
+}

@@ -1,0 +1,265 @@
+package semiring
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Path is a non-empty, loop-free, directed path on V, encoded as the
+// big-endian 4-byte concatenation of its node IDs. The encoding makes Path a
+// valid map key, keeps comparisons cheap, and orders paths lexicographically
+// by node sequence — the tie-breaking order used by k-SDP and k-DSDP
+// (Examples 3.23 and 3.24).
+//
+// The empty Path ε is the identity of concatenation; it plays the role of
+// the paper's multiplicative unit 1 (which formally contains all zero-weight
+// single-node paths): ε ∘ π = π ∘ ε = π. For well-formed path sets the two
+// formulations produce identical algebra; ε merely avoids materialising |V|
+// single-node paths.
+type Path string
+
+// MakePath encodes the node sequence as a Path. It panics if adjacent nodes
+// repeat (paths are loop-free).
+func MakePath(nodes ...NodeID) Path {
+	b := make([]byte, 0, 4*len(nodes))
+	for i, v := range nodes {
+		if i > 0 && nodes[i-1] == v {
+			panic("semiring: path with repeated adjacent node")
+		}
+		b = append(b, byte(uint32(v)>>24), byte(uint32(v)>>16), byte(uint32(v)>>8), byte(uint32(v)))
+	}
+	return Path(b)
+}
+
+// Nodes decodes the path back into its node sequence.
+func (p Path) Nodes() []NodeID {
+	if len(p)%4 != 0 {
+		panic("semiring: malformed path encoding")
+	}
+	out := make([]NodeID, len(p)/4)
+	for i := range out {
+		off := 4 * i
+		out[i] = NodeID(uint32(p[off])<<24 | uint32(p[off+1])<<16 | uint32(p[off+2])<<8 | uint32(p[off+3]))
+	}
+	return out
+}
+
+// Hops returns the number of edges of the path (|p| in the paper's
+// notation); the empty path and single-node paths have 0 hops.
+func (p Path) Hops() int {
+	if len(p) == 0 {
+		return 0
+	}
+	return len(p)/4 - 1
+}
+
+// IsEmpty reports whether p is the identity path ε.
+func (p Path) IsEmpty() bool { return len(p) == 0 }
+
+// First returns the first node of the path. It panics on ε.
+func (p Path) First() NodeID {
+	return NodeID(uint32(p[0])<<24 | uint32(p[1])<<16 | uint32(p[2])<<8 | uint32(p[3]))
+}
+
+// Last returns the last node of the path. It panics on ε.
+func (p Path) Last() NodeID {
+	off := len(p) - 4
+	return NodeID(uint32(p[off])<<24 | uint32(p[off+1])<<16 | uint32(p[off+2])<<8 | uint32(p[off+3]))
+}
+
+// Concat returns the concatenation p ∘ q and true if the paths are
+// concatenable (Equation 3.13: last node of p equals first node of q, or
+// either is ε), and "", false otherwise. The shared node appears once in the
+// result. Concatenations that would revisit a node yield ok=false: the
+// all-paths semiring stores loop-free paths only, and a walk with a loop is
+// never shorter than the loop-free path it contains (weights are positive).
+func (p Path) Concat(q Path) (Path, bool) {
+	if p.IsEmpty() {
+		return q, true
+	}
+	if q.IsEmpty() {
+		return p, true
+	}
+	if p.Last() != q.First() {
+		return "", false
+	}
+	joined := string(p) + string(q[4:])
+	// Reject walks that revisit a node.
+	seen := make(map[NodeID]bool, len(joined)/4)
+	r := Path(joined)
+	for _, v := range r.Nodes() {
+		if seen[v] {
+			return "", false
+		}
+		seen[v] = true
+	}
+	return r, true
+}
+
+// String renders the path as "v0→v1→…" for debugging.
+func (p Path) String() string {
+	if p.IsEmpty() {
+		return "ε"
+	}
+	var b strings.Builder
+	for i, v := range p.Nodes() {
+		if i > 0 {
+			b.WriteString("→")
+		}
+		fmt.Fprintf(&b, "%d", v)
+	}
+	return b.String()
+}
+
+// PathSet is an element of the all-paths semiring P_{min,+} of
+// Definition 3.17: a sparse assignment of finite weights to paths; absent
+// paths implicitly have weight ∞. "x contains π" means x[π] < ∞.
+type PathSet map[Path]float64
+
+// AllPaths implements the all-paths semiring P_{min,+}: addition keeps the
+// smaller weight per path (union), multiplication concatenates all
+// compatible pairs keeping the lightest weight per resulting path
+// (Equations 3.14–3.15).
+type AllPaths struct{}
+
+// Add returns the path-wise minimum of x and y.
+func (AllPaths) Add(x, y PathSet) PathSet {
+	if len(x) == 0 {
+		return y
+	}
+	if len(y) == 0 {
+		return x
+	}
+	out := make(PathSet, len(x)+len(y))
+	for p, w := range x {
+		out[p] = w
+	}
+	for p, w := range y {
+		if cur, ok := out[p]; !ok || w < cur {
+			out[p] = w
+		}
+	}
+	return out
+}
+
+// Mul returns {π ↦ min over splits π = π1 ∘ π2 of x[π1] + y[π2]}.
+func (AllPaths) Mul(x, y PathSet) PathSet {
+	if len(x) == 0 || len(y) == 0 {
+		return nil
+	}
+	out := make(PathSet)
+	for p, wp := range x {
+		for q, wq := range y {
+			r, ok := p.Concat(q)
+			if !ok {
+				continue
+			}
+			w := wp + wq
+			if cur, ok := out[r]; !ok || w < cur {
+				out[r] = w
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// Zero returns the empty path set (all weights ∞).
+func (AllPaths) Zero() PathSet { return nil }
+
+// One returns {ε: 0}, the multiplicative identity.
+func (AllPaths) One() PathSet { return PathSet{"": 0} }
+
+// Equal reports whether x and y assign identical weights.
+func (AllPaths) Equal(x, y PathSet) bool {
+	if len(x) != len(y) {
+		return false
+	}
+	for p, w := range x {
+		if yw, ok := y[p]; !ok || yw != w {
+			return false
+		}
+	}
+	return true
+}
+
+// AllPathsSelf is P_{min,+} viewed as a zero-preserving semimodule over
+// itself (Corollary 3.19), the module used by k-SDP.
+type AllPathsSelf struct{}
+
+// Add returns the path-wise minimum.
+func (AllPathsSelf) Add(x, y PathSet) PathSet { return AllPaths{}.Add(x, y) }
+
+// SMul returns s ⊙ x.
+func (AllPathsSelf) SMul(s, x PathSet) PathSet { return AllPaths{}.Mul(s, x) }
+
+// Zero returns the empty path set.
+func (AllPathsSelf) Zero() PathSet { return nil }
+
+// Equal reports path-wise equality.
+func (AllPathsSelf) Equal(x, y PathSet) bool { return AllPaths{}.Equal(x, y) }
+
+var (
+	_ Semiring[PathSet]            = AllPaths{}
+	_ Semimodule[PathSet, PathSet] = AllPathsSelf{}
+)
+
+// KShortestFilter is the representative projection of k-SDP (Equation 3.24):
+// for every start node v it keeps only the k lightest v-to-target paths (ties
+// broken by the lexicographic path order). If distinct is true it implements
+// the k-DSDP variant (Equations 3.26–3.27): only the lexicographically first
+// path per distinct weight is kept, and the k lightest distinct weights
+// survive.
+func KShortestFilter(k int, target NodeID, distinct bool) Filter[PathSet] {
+	type cand struct {
+		p Path
+		w float64
+	}
+	return func(x PathSet) PathSet {
+		if len(x) == 0 {
+			return nil
+		}
+		byStart := make(map[NodeID][]cand)
+		for p, w := range x {
+			if p.IsEmpty() || p.Last() != target {
+				continue
+			}
+			s := p.First()
+			byStart[s] = append(byStart[s], cand{p, w})
+		}
+		out := make(PathSet)
+		for _, cs := range byStart {
+			sort.Slice(cs, func(i, j int) bool {
+				if cs[i].w != cs[j].w {
+					return cs[i].w < cs[j].w
+				}
+				return cs[i].p < cs[j].p
+			})
+			if distinct {
+				// Keep one representative per distinct weight.
+				w := 0
+				for i := 0; i < len(cs); i++ {
+					if w > 0 && cs[w-1].w == cs[i].w {
+						continue
+					}
+					cs[w] = cs[i]
+					w++
+				}
+				cs = cs[:w]
+			}
+			if len(cs) > k {
+				cs = cs[:k]
+			}
+			for _, c := range cs {
+				out[c.p] = c.w
+			}
+		}
+		if len(out) == 0 {
+			return nil
+		}
+		return out
+	}
+}

@@ -1,0 +1,84 @@
+package semiring
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchDistMap(n int, seed int64) DistMap {
+	rng := rand.New(rand.NewSource(seed))
+	m := make(DistMap, 0, n)
+	node := NodeID(0)
+	for i := 0; i < n; i++ {
+		node += NodeID(1 + rng.Intn(3))
+		m = append(m, Entry{Node: node, Dist: float64(rng.Intn(1000))})
+	}
+	return m
+}
+
+func BenchmarkDistMapAdd(b *testing.B) {
+	x := benchDistMap(32, 1)
+	y := benchDistMap(32, 2)
+	mod := DistMapModule{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		mod.Add(x, y)
+	}
+}
+
+func BenchmarkDistMapSMul(b *testing.B) {
+	x := benchDistMap(32, 3)
+	mod := DistMapModule{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		mod.SMul(2.5, x)
+	}
+}
+
+func BenchmarkMergeMin8Way(b *testing.B) {
+	xs := make([]DistMap, 8)
+	for i := range xs {
+		xs[i] = benchDistMap(16, int64(i))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MergeMin(xs...)
+	}
+}
+
+func BenchmarkTopKFilter(b *testing.B) {
+	x := benchDistMap(64, 4)
+	r := TopKFilter(8, Inf, nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r(x)
+	}
+}
+
+func BenchmarkAllPathsMul(b *testing.B) {
+	x := PathSet{}
+	y := PathSet{}
+	for i := NodeID(0); i < 8; i++ {
+		x[MakePath(0, 1+i)] = float64(i)
+		y[MakePath(1+i, 20+i)] = float64(i)
+	}
+	sr := AllPaths{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sr.Mul(x, y)
+	}
+}
+
+func BenchmarkRouteMapAdd(b *testing.B) {
+	mod := RouteMapModule{}
+	x := make(RouteMap, 32)
+	y := make(RouteMap, 32)
+	for i := range x {
+		x[i] = Route{Target: NodeID(2 * i), Dist: float64(i), Next: 1}
+		y[i] = Route{Target: NodeID(2*i + 1), Dist: float64(i), Next: 2}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		mod.Add(x, y)
+	}
+}

@@ -1,0 +1,233 @@
+package semiring
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"parmbf/internal/par"
+)
+
+// Entry is one (node, distance) pair of a sparse distance map. Distance maps
+// only store non-∞ entries, mirroring the representation of Lemma 2.3.
+type Entry struct {
+	Node NodeID
+	Dist float64
+}
+
+// DistMap is an element of the distance-map semimodule D of Definition 2.1:
+// a vector in (ℝ≥0 ∪ {∞})^V stored sparsely as entries sorted by node ID.
+// Absent nodes implicitly hold ∞. The zero element ⊥ = (∞, …, ∞)ᵀ is the
+// empty map.
+//
+// DistMap values are treated as immutable by the algebra: operations return
+// fresh slices and never alias their inputs' backing arrays in a way that
+// allows later mutation to be observed.
+type DistMap []Entry
+
+// DistMapModule implements the zero-preserving semimodule D over the
+// min-plus semiring (Corollary 2.2): aggregation is the node-wise minimum
+// and propagation over an edge of weight s uniformly increases all stored
+// distances by s.
+type DistMapModule struct{}
+
+// Add returns the node-wise minimum of x and y (Equation 2.6), merging the
+// two sorted entry lists.
+func (DistMapModule) Add(x, y DistMap) DistMap {
+	if len(x) == 0 {
+		return y
+	}
+	if len(y) == 0 {
+		return x
+	}
+	out := make(DistMap, 0, len(x)+len(y))
+	i, j := 0, 0
+	for i < len(x) && j < len(y) {
+		switch {
+		case x[i].Node < y[j].Node:
+			out = append(out, x[i])
+			i++
+		case x[i].Node > y[j].Node:
+			out = append(out, y[j])
+			j++
+		default:
+			e := x[i]
+			if y[j].Dist < e.Dist {
+				e.Dist = y[j].Dist
+			}
+			out = append(out, e)
+			i++
+			j++
+		}
+	}
+	out = append(out, x[i:]...)
+	out = append(out, y[j:]...)
+	return out
+}
+
+// SMul returns s ⊙ x (Equation 2.7): every stored distance is increased by
+// s. Multiplying by ∞ yields ⊥ (Equation 2.2): information does not survive
+// propagation over a non-edge.
+func (DistMapModule) SMul(s float64, x DistMap) DistMap {
+	if IsInf(s) || len(x) == 0 {
+		return nil
+	}
+	if s == 0 {
+		return x
+	}
+	out := make(DistMap, len(x))
+	for i, e := range x {
+		out[i] = Entry{Node: e.Node, Dist: e.Dist + s}
+	}
+	return out
+}
+
+// Zero returns ⊥, the empty distance map.
+func (DistMapModule) Zero() DistMap { return nil }
+
+// Equal reports whether x and y store identical entries.
+func (DistMapModule) Equal(x, y DistMap) bool {
+	if len(x) != len(y) {
+		return false
+	}
+	for i := range x {
+		if x[i] != y[i] {
+			return false
+		}
+	}
+	return true
+}
+
+var _ Semimodule[float64, DistMap] = DistMapModule{}
+
+// Get returns the distance stored for node v, or ∞ if absent.
+func (x DistMap) Get(v NodeID) float64 {
+	i := sort.Search(len(x), func(i int) bool { return x[i].Node >= v })
+	if i < len(x) && x[i].Node == v {
+		return x[i].Dist
+	}
+	return Inf
+}
+
+// Len returns |x|, the number of non-∞ entries.
+func (x DistMap) Len() int { return len(x) }
+
+// Clone returns a deep copy of x.
+func (x DistMap) Clone() DistMap {
+	if len(x) == 0 {
+		return nil
+	}
+	out := make(DistMap, len(x))
+	copy(out, x)
+	return out
+}
+
+// IsSorted reports whether the entries are strictly sorted by node ID, the
+// representation invariant of DistMap.
+func (x DistMap) IsSorted() bool {
+	for i := 1; i < len(x); i++ {
+		if x[i-1].Node >= x[i].Node {
+			return false
+		}
+	}
+	return true
+}
+
+// Normalize sorts the entries by node ID, keeping the minimum distance per
+// node, and drops ∞ entries. It is used to establish the representation
+// invariant on entry lists built out of order.
+func Normalize(x DistMap) DistMap {
+	if len(x) == 0 {
+		return nil
+	}
+	out := x.Clone()
+	// Large merges use the parallel sort (the Lemma 2.3 aggregation path of
+	// the oracle); small ones the standard library.
+	par.Sort(out, func(a, b Entry) bool {
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.Dist < b.Dist
+	})
+	w := 0
+	for i := 0; i < len(out); i++ {
+		if IsInf(out[i].Dist) {
+			continue
+		}
+		if w > 0 && out[w-1].Node == out[i].Node {
+			continue
+		}
+		out[w] = out[i]
+		w++
+	}
+	return out[:w]
+}
+
+// MergeMin computes ⊕ over many distance maps at once, the aggregation step
+// of Lemma 2.3. It is equivalent to folding Add but allocates once.
+func MergeMin(xs ...DistMap) DistMap {
+	switch len(xs) {
+	case 0:
+		return nil
+	case 1:
+		return xs[0]
+	case 2:
+		return DistMapModule{}.Add(xs[0], xs[1])
+	}
+	total := 0
+	for _, x := range xs {
+		total += len(x)
+	}
+	if total == 0 {
+		return nil
+	}
+	all := make(DistMap, 0, total)
+	for _, x := range xs {
+		all = append(all, x...)
+	}
+	return Normalize(all)
+}
+
+// String renders the map as "{v:d, …}" for debugging and test failure
+// messages.
+func (x DistMap) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, e := range x {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d:%g", e.Node, e.Dist)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// TopKFilter returns the representative projection of source detection
+// (Example 3.2): keep only entries whose node is in sources (nil means all
+// nodes), whose distance is at most maxDist, and which are among the k
+// smallest entries (ties broken by node ID). k ≤ 0 means unbounded.
+func TopKFilter(k int, maxDist float64, sources func(NodeID) bool) Filter[DistMap] {
+	return func(x DistMap) DistMap {
+		kept := make(DistMap, 0, len(x))
+		for _, e := range x {
+			if e.Dist <= maxDist && (sources == nil || sources(e.Node)) {
+				kept = append(kept, e)
+			}
+		}
+		if k > 0 && len(kept) > k {
+			sort.Slice(kept, func(i, j int) bool {
+				if kept[i].Dist != kept[j].Dist {
+					return kept[i].Dist < kept[j].Dist
+				}
+				return kept[i].Node < kept[j].Node
+			})
+			kept = kept[:k]
+			sort.Slice(kept, func(i, j int) bool { return kept[i].Node < kept[j].Node })
+		}
+		if len(kept) == 0 {
+			return nil
+		}
+		return kept
+	}
+}

@@ -1,0 +1,176 @@
+package semiring
+
+// This file adds a routing algebra to the toolbox: distance computations
+// that also record the first hop of a shortest path, so that MBF-like
+// algorithms produce usable routing tables (§7.5 of the paper relies on
+// exactly this: "nodes locally store the predecessor of shortest paths just
+// like in APSP").
+//
+// The scalar semiring is min-plus enriched with a "via" node: multiplying
+// path segments keeps the first segment's entry hop (left bias), addition
+// keeps the shorter segment. The semimodule holds sparse routing entries
+// (target, distance, next hop).
+
+// NoVia is the sentinel "no hop recorded": the multiplicative identity
+// keeps whatever hop the other operand carries.
+const NoVia NodeID = -1
+
+// Hop is a min-plus scalar enriched with the first hop of the path it
+// measures.
+type Hop struct {
+	W   float64
+	Via NodeID
+}
+
+// HopSemiring is the enriched min-plus semiring.
+//
+// Addition takes the smaller weight, breaking ties towards the smaller Via
+// (making it commutative and associative). Multiplication adds weights and
+// keeps the leftmost recorded Via, so that in a product a_{v u1} ⊙ a_{u1 u2}
+// ⊙ … the surviving Via is v's first hop u1.
+//
+// Caveat: the semiring laws hold exactly on the weight component; on *ties*
+// the Via component depends on evaluation order (left- vs right-factored
+// products can surface different equally short first hops). Every choice is
+// a correct next hop — the routing invariant the tests verify — so the
+// MBF-like engine, which only needs the semimodule operations below, is
+// unaffected. This is the same phenomenon that forces Mohri's framework to
+// assume a processing order for its tie-sensitive semirings (§1.1 of the
+// paper, discussion item (4)).
+type HopSemiring struct{}
+
+// Add returns the lighter scalar (ties: smaller Via).
+func (HopSemiring) Add(a, b Hop) Hop {
+	if a.W < b.W {
+		return a
+	}
+	if b.W < a.W {
+		return b
+	}
+	if a.Via <= b.Via {
+		return a
+	}
+	return b
+}
+
+// Mul adds the weights and keeps the leftmost non-sentinel Via.
+func (HopSemiring) Mul(a, b Hop) Hop {
+	out := Hop{W: a.W + b.W, Via: a.Via}
+	if out.Via == NoVia {
+		out.Via = b.Via
+	}
+	if IsInf(out.W) {
+		out.Via = NoVia // the annihilator is unique
+	}
+	return out
+}
+
+// Zero returns the annihilator (∞, NoVia).
+func (HopSemiring) Zero() Hop { return Hop{W: Inf, Via: NoVia} }
+
+// One returns the identity (0, NoVia).
+func (HopSemiring) One() Hop { return Hop{W: 0, Via: NoVia} }
+
+// Equal reports exact equality.
+func (HopSemiring) Equal(a, b Hop) bool { return a == b }
+
+var _ Semiring[Hop] = HopSemiring{}
+
+// Route is one routing-table entry: Target is reachable at distance Dist,
+// leaving through neighbor Next (NoVia when Target is the node itself).
+type Route struct {
+	Target NodeID
+	Dist   float64
+	Next   NodeID
+}
+
+// RouteMap is a sparse routing table, sorted by target.
+type RouteMap []Route
+
+// RouteMapModule is the zero-preserving semimodule of routing tables over
+// HopSemiring: aggregation keeps the best route per target (ties: smaller
+// next hop), propagation over an edge adds the edge weight and stamps the
+// edge's Via as the next hop of every entry.
+type RouteMapModule struct{}
+
+// Add merges two sorted tables keeping the better route per target.
+func (RouteMapModule) Add(x, y RouteMap) RouteMap {
+	if len(x) == 0 {
+		return y
+	}
+	if len(y) == 0 {
+		return x
+	}
+	out := make(RouteMap, 0, len(x)+len(y))
+	i, j := 0, 0
+	for i < len(x) && j < len(y) {
+		switch {
+		case x[i].Target < y[j].Target:
+			out = append(out, x[i])
+			i++
+		case x[i].Target > y[j].Target:
+			out = append(out, y[j])
+			j++
+		default:
+			best := x[i]
+			if y[j].Dist < best.Dist || (y[j].Dist == best.Dist && y[j].Next < best.Next) {
+				best = y[j]
+			}
+			out = append(out, best)
+			i++
+			j++
+		}
+	}
+	out = append(out, x[i:]...)
+	out = append(out, y[j:]...)
+	return out
+}
+
+// SMul relaxes every entry over the scalar: weights increase by s.W, and a
+// non-sentinel s.Via replaces the next hop (the entry now leaves through
+// that edge).
+func (RouteMapModule) SMul(s Hop, x RouteMap) RouteMap {
+	if IsInf(s.W) || len(x) == 0 {
+		return nil
+	}
+	out := make(RouteMap, len(x))
+	for i, r := range x {
+		next := s.Via
+		if next == NoVia {
+			next = r.Next
+		}
+		out[i] = Route{Target: r.Target, Dist: r.Dist + s.W, Next: next}
+	}
+	return out
+}
+
+// Zero returns the empty table.
+func (RouteMapModule) Zero() RouteMap { return nil }
+
+// Equal reports entry-wise equality.
+func (RouteMapModule) Equal(x, y RouteMap) bool {
+	if len(x) != len(y) {
+		return false
+	}
+	for i := range x {
+		if x[i] != y[i] {
+			return false
+		}
+	}
+	return true
+}
+
+var _ Semimodule[Hop, RouteMap] = RouteMapModule{}
+
+// Get returns the route for target, or a zero Route and false.
+func (x RouteMap) Get(target NodeID) (Route, bool) {
+	for _, r := range x {
+		if r.Target == target {
+			return r, true
+		}
+		if r.Target > target {
+			break
+		}
+	}
+	return Route{}, false
+}

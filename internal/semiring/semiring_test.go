@@ -1,0 +1,281 @@
+package semiring
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// scalarSamples are semiring elements exercising the interesting regions of
+// the float-valued semirings: identities, finite values, and ∞.
+var scalarSamples = []float64{0, 1, 0.5, 2.25, 7, 1000, Inf}
+
+func TestMinPlusSemiringLaws(t *testing.T) {
+	if err := CheckSemiringLaws[float64](MinPlus{}, scalarSamples); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinPlusAddIsCommutativeMin(t *testing.T) {
+	sr := MinPlus{}
+	if got := sr.Add(3, 5); got != 3 {
+		t.Fatalf("Add(3,5) = %v, want 3", got)
+	}
+	if got := sr.Add(Inf, 5); got != 5 {
+		t.Fatalf("Add(Inf,5) = %v, want 5", got)
+	}
+	if got := sr.Mul(3, 5); got != 8 {
+		t.Fatalf("Mul(3,5) = %v, want 8", got)
+	}
+	if !IsInf(sr.Mul(3, Inf)) {
+		t.Fatal("Mul(3,Inf) should be Inf")
+	}
+}
+
+func TestMaxMinSemiringLaws(t *testing.T) {
+	if err := CheckSemiringLaws[float64](MaxMin{}, scalarSamples); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxMinOps(t *testing.T) {
+	sr := MaxMin{}
+	if got := sr.Add(3, 5); got != 5 {
+		t.Fatalf("Add(3,5) = %v, want 5", got)
+	}
+	if got := sr.Mul(3, 5); got != 3 {
+		t.Fatalf("Mul(3,5) = %v, want 3", got)
+	}
+	if got := sr.Mul(Inf, 5); got != 5 {
+		t.Fatalf("Mul(Inf,5) = %v, want 5 (One is neutral)", got)
+	}
+}
+
+func TestBooleanSemiringLaws(t *testing.T) {
+	if err := CheckSemiringLaws[bool](Boolean{}, []bool{false, true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinPlusSelfModuleLaws(t *testing.T) {
+	err := CheckSemimoduleLaws[float64, float64](MinPlus{}, MinPlusSelf{}, scalarSamples, scalarSamples)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxMinSelfModuleLaws(t *testing.T) {
+	err := CheckSemimoduleLaws[float64, float64](MaxMin{}, MaxMinSelf{}, scalarSamples, scalarSamples)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomDistMap(rng *rand.Rand, maxNodes int) DistMap {
+	n := rng.Intn(maxNodes + 1)
+	m := make(DistMap, 0, n)
+	node := NodeID(0)
+	for i := 0; i < n; i++ {
+		node += NodeID(1 + rng.Intn(4))
+		m = append(m, Entry{Node: node, Dist: float64(rng.Intn(100))})
+	}
+	return m
+}
+
+func TestDistMapModuleLaws(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	elems := []DistMap{nil}
+	for i := 0; i < 8; i++ {
+		elems = append(elems, randomDistMap(rng, 6))
+	}
+	err := CheckSemimoduleLaws[float64, DistMap](MinPlus{}, DistMapModule{}, scalarSamples, elems)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistMapAddKeepsMinimum(t *testing.T) {
+	mod := DistMapModule{}
+	x := DistMap{{1, 5}, {3, 2}}
+	y := DistMap{{1, 3}, {2, 7}}
+	got := mod.Add(x, y)
+	want := DistMap{{1, 3}, {2, 7}, {3, 2}}
+	if !mod.Equal(got, want) {
+		t.Fatalf("Add = %v, want %v", got, want)
+	}
+}
+
+func TestDistMapSMul(t *testing.T) {
+	mod := DistMapModule{}
+	x := DistMap{{1, 5}, {3, 2}}
+	got := mod.SMul(10, x)
+	want := DistMap{{1, 15}, {3, 12}}
+	if !mod.Equal(got, want) {
+		t.Fatalf("SMul = %v, want %v", got, want)
+	}
+	if mod.SMul(Inf, x) != nil {
+		t.Fatal("SMul(Inf, x) should be ⊥")
+	}
+	if got := mod.SMul(0, x); !mod.Equal(got, x) {
+		t.Fatal("SMul(0, x) should be x")
+	}
+}
+
+func TestDistMapSMulDoesNotAliasInput(t *testing.T) {
+	mod := DistMapModule{}
+	x := DistMap{{1, 5}}
+	y := mod.SMul(3, x)
+	y[0].Dist = 999
+	if x[0].Dist != 5 {
+		t.Fatal("SMul result aliases its input")
+	}
+}
+
+func TestDistMapGet(t *testing.T) {
+	x := DistMap{{2, 5}, {7, 1}, {9, 4}}
+	if got := x.Get(7); got != 1 {
+		t.Fatalf("Get(7) = %v, want 1", got)
+	}
+	if !IsInf(x.Get(3)) {
+		t.Fatal("Get(absent) should be Inf")
+	}
+	if !IsInf(DistMap(nil).Get(0)) {
+		t.Fatal("Get on nil map should be Inf")
+	}
+}
+
+func TestDistMapNormalize(t *testing.T) {
+	x := DistMap{{5, 2}, {1, 9}, {5, 7}, {3, Inf}, {1, 4}}
+	got := Normalize(x)
+	want := DistMap{{1, 4}, {5, 2}}
+	if !(DistMapModule{}).Equal(got, want) {
+		t.Fatalf("Normalize = %v, want %v", got, want)
+	}
+	if !got.IsSorted() {
+		t.Fatal("Normalize output not sorted")
+	}
+}
+
+func TestMergeMinMatchesFoldedAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	mod := DistMapModule{}
+	for trial := 0; trial < 50; trial++ {
+		k := 1 + rng.Intn(6)
+		xs := make([]DistMap, k)
+		for i := range xs {
+			xs[i] = randomDistMap(rng, 8)
+		}
+		folded := mod.Zero()
+		for _, x := range xs {
+			folded = mod.Add(folded, x)
+		}
+		merged := MergeMin(xs...)
+		if !mod.Equal(folded, merged) {
+			t.Fatalf("MergeMin %v ≠ folded Add %v", merged, folded)
+		}
+	}
+}
+
+func TestTopKFilterKeepsKSmallest(t *testing.T) {
+	r := TopKFilter(2, Inf, nil)
+	x := DistMap{{1, 9}, {2, 3}, {3, 5}, {4, 3}}
+	got := r(x)
+	// Two smallest are (2,3) and (4,3); ties broken by node ID keep node 2
+	// then node 4.
+	want := DistMap{{2, 3}, {4, 3}}
+	if !(DistMapModule{}).Equal(got, want) {
+		t.Fatalf("TopKFilter = %v, want %v", got, want)
+	}
+}
+
+func TestTopKFilterMaxDistAndSources(t *testing.T) {
+	isSource := func(v NodeID) bool { return v%2 == 0 }
+	r := TopKFilter(10, 4, isSource)
+	x := DistMap{{1, 1}, {2, 3}, {3, 2}, {4, 9}}
+	got := r(x)
+	want := DistMap{{2, 3}} // node 4 exceeds maxDist, odd nodes not sources
+	if !(DistMapModule{}).Equal(got, want) {
+		t.Fatalf("filter = %v, want %v", got, want)
+	}
+}
+
+func TestTopKFilterIsCongruence(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	elems := []DistMap{nil}
+	for i := 0; i < 10; i++ {
+		elems = append(elems, randomDistMap(rng, 8))
+	}
+	r := TopKFilter(3, Inf, nil)
+	err := CheckFilterCongruence[float64, DistMap](DistMapModule{}, r, []float64{0, 1, 5, Inf}, elems)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIdentityFilter(t *testing.T) {
+	r := Identity[DistMap]()
+	x := DistMap{{1, 2}}
+	if !(DistMapModule{}).Equal(r(x), x) {
+		t.Fatal("identity filter changed its input")
+	}
+}
+
+func TestBoolSetModuleLaws(t *testing.T) {
+	elems := [][]NodeID{nil, {1}, {2, 5}, {1, 2, 5}, {0, 9}}
+	err := CheckSemimoduleLaws[bool, []NodeID](Boolean{}, BoolSet{}, []bool{false, true}, elems)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoolSetUnion(t *testing.T) {
+	mod := BoolSet{}
+	got := mod.Add([]NodeID{1, 3, 5}, []NodeID{2, 3, 6})
+	want := []NodeID{1, 2, 3, 5, 6}
+	if !mod.Equal(got, want) {
+		t.Fatalf("union = %v, want %v", got, want)
+	}
+}
+
+func TestWidthMapModuleLaws(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	elems := []WidthMap{nil}
+	for i := 0; i < 8; i++ {
+		n := rng.Intn(6)
+		m := make(WidthMap, 0, n)
+		node := NodeID(0)
+		for j := 0; j < n; j++ {
+			node += NodeID(1 + rng.Intn(3))
+			m = append(m, WidthEntry{Node: node, Width: 1 + float64(rng.Intn(50))})
+		}
+		elems = append(elems, m)
+	}
+	err := CheckSemimoduleLaws[float64, WidthMap](MaxMin{}, WidthMapModule{}, scalarSamples, elems)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWidthMapOps(t *testing.T) {
+	mod := WidthMapModule{}
+	x := WidthMap{{1, 5}, {3, 8}}
+	y := WidthMap{{1, 7}, {2, 2}}
+	got := mod.Add(x, y)
+	want := WidthMap{{1, 7}, {2, 2}, {3, 8}}
+	if !mod.Equal(got, want) {
+		t.Fatalf("Add = %v, want %v", got, want)
+	}
+	capped := mod.SMul(4, x)
+	want = WidthMap{{1, 4}, {3, 4}}
+	if !mod.Equal(capped, want) {
+		t.Fatalf("SMul = %v, want %v", capped, want)
+	}
+	if mod.SMul(0, x) != nil {
+		t.Fatal("SMul(0, x) should be ⊥")
+	}
+	if got := x.Get(3); got != 8 {
+		t.Fatalf("Get(3) = %v, want 8", got)
+	}
+	if got := x.Get(2); got != 0 {
+		t.Fatalf("Get(absent) = %v, want 0", got)
+	}
+}

@@ -1,0 +1,119 @@
+package simgraph
+
+import (
+	"parmbf/internal/graph"
+	"parmbf/internal/mbf"
+	"parmbf/internal/par"
+	"parmbf/internal/semiring"
+)
+
+// This file generalises the oracle beyond the distance-map semimodule,
+// realising Remark 5.3 of the paper: Theorem 5.2 is stated for D for
+// concreteness, but the decomposition A_H = ⊕_λ P_λ A_λ^d P_λ works for any
+// zero-preserving semimodule whose aggregation the caller can supply. The
+// generic oracle needs three algebra-specific ingredients:
+//
+//   - Weight: how a level-scaled edge weight becomes a semiring element
+//     (the entries of A_λ);
+//   - the Module and Filter of the MBF-like algorithm;
+//   - nothing else — projection P_λ is "reset to ⊥", and cross-level
+//     aggregation is the module's ⊕.
+//
+// The distance-map Oracle of oracle-fame is the M = D specialisation; the
+// tests validate the generic version with the routing semimodule (next-hop
+// tables on H).
+type GenericOracle[S, M any] struct {
+	H      *H
+	Module semiring.Semimodule[S, M]
+	Filter semiring.Filter[M]
+	// Weight converts a level-scaled graph edge weight into the A_λ entry
+	// for the arc from→to.
+	Weight  func(from, to graph.Node, scaled float64) S
+	Tracker *par.Tracker
+}
+
+func (o *GenericOracle[S, M]) filter(x M) M {
+	if o.Filter == nil {
+		return x
+	}
+	return o.Filter(x)
+}
+
+// project applies P_λ, resetting entries below level lambda to ⊥.
+func (o *GenericOracle[S, M]) project(x []M, lambda int) []M {
+	if lambda == 0 {
+		return x
+	}
+	out := make([]M, len(x))
+	for v := range x {
+		if o.H.Level[v] >= lambda {
+			out[v] = x[v]
+		} else {
+			out[v] = o.Module.Zero()
+		}
+	}
+	return out
+}
+
+// Iterate simulates one MBF-like iteration on H over the generic module
+// (Equation 5.9).
+func (o *GenericOracle[S, M]) Iterate(x []M) []M {
+	h := o.H
+	gp := h.Hop.Graph
+	perLevel := make([][]M, h.Lambda+1)
+	for lambda := 0; lambda <= h.Lambda; lambda++ {
+		scale := h.scale[lambda]
+		runner := &mbf.Runner[S, M]{
+			Graph:  gp,
+			Module: o.Module,
+			Filter: o.Filter,
+			Weight: func(from, to graph.Node, w float64) S {
+				return o.Weight(from, to, scale*w)
+			},
+			Tracker: o.Tracker,
+		}
+		y := o.project(x, lambda)
+		y = runner.Run(y, h.Hop.D)
+		perLevel[lambda] = o.project(y, lambda)
+	}
+	out := make([]M, len(x))
+	par.ForEach(len(x), func(v int) {
+		acc := o.Module.Zero()
+		for lambda := 0; lambda <= h.Lambda; lambda++ {
+			acc = o.Module.Add(acc, perLevel[lambda][v])
+		}
+		out[v] = o.filter(acc)
+	})
+	return out
+}
+
+// Run performs iters iterations on H starting from x0.
+func (o *GenericOracle[S, M]) Run(x0 []M, iters int) []M {
+	x := make([]M, len(x0))
+	for i, s := range x0 {
+		x[i] = o.filter(s)
+	}
+	for i := 0; i < iters; i++ {
+		x = o.Iterate(x)
+	}
+	return x
+}
+
+// RunToFixpoint iterates until the states stop changing or maxIters is hit.
+func (o *GenericOracle[S, M]) RunToFixpoint(x0 []M, maxIters int) ([]M, int) {
+	x := make([]M, len(x0))
+	for i, s := range x0 {
+		x[i] = o.filter(s)
+	}
+	for it := 0; it < maxIters; it++ {
+		next := o.Iterate(x)
+		same := par.Reduce(len(x), true,
+			func(i int) bool { return o.Module.Equal(x[i], next[i]) },
+			func(a, b bool) bool { return a && b })
+		if same {
+			return next, it
+		}
+		x = next
+	}
+	return x, maxIters
+}

@@ -1,0 +1,129 @@
+package simgraph
+
+import (
+	"math"
+	"testing"
+
+	"parmbf/internal/graph"
+	"parmbf/internal/hopset"
+	"parmbf/internal/par"
+	"parmbf/internal/semiring"
+)
+
+// TestGenericOracleDistMapMatchesSpecialised runs the generic oracle with
+// the distance-map module and checks it agrees with the specialised Oracle.
+func TestGenericOracleDistMapMatchesSpecialised(t *testing.T) {
+	rng := par.NewRNG(1)
+	g := graph.RandomConnected(35, 80, 6, rng)
+	hs := hopset.DefaultSkeleton(g, rng, nil)
+	h := Build(hs, 0, rng)
+	x0 := make([]semiring.DistMap, h.N())
+	for v := range x0 {
+		x0[v] = semiring.DistMap{{Node: graph.Node(v), Dist: 0}}
+	}
+	filter := semiring.TopKFilter(4, semiring.Inf, nil)
+
+	spec := NewOracle(h, nil)
+	want, _ := spec.RunToFixpoint(x0, filter, MaxIters(h.N()))
+
+	gen := &GenericOracle[float64, semiring.DistMap]{
+		H:      h,
+		Module: semiring.DistMapModule{},
+		Filter: filter,
+		Weight: func(_, _ graph.Node, scaled float64) float64 { return scaled },
+	}
+	got, _ := gen.RunToFixpoint(x0, MaxIters(h.N()))
+
+	mod := semiring.DistMapModule{}
+	for v := range want {
+		if !mod.Equal(got[v], want[v]) {
+			t.Fatalf("node %d: generic %v ≠ specialised %v", v, got[v], want[v])
+		}
+	}
+}
+
+// TestGenericOracleRoutingOnH is Remark 5.3 in action: an MBF-like query
+// with a *different* semimodule — next-hop routing tables — answered on the
+// implicit graph H. Distances must equal the distance-map oracle's, and
+// every recorded next hop must be a G′ neighbor that makes progress.
+func TestGenericOracleRoutingOnH(t *testing.T) {
+	rng := par.NewRNG(2)
+	g := graph.RandomConnected(30, 70, 5, rng)
+	hs := hopset.DefaultSkeleton(g, rng, nil)
+	h := Build(hs, 0, rng)
+	n := h.N()
+
+	// Reference: exact distances of the explicit H.
+	exact := graph.APSPDijkstra(h.Materialize())
+
+	routes := &GenericOracle[semiring.Hop, semiring.RouteMap]{
+		H:      h,
+		Module: semiring.RouteMapModule{},
+		Weight: func(_, to graph.Node, scaled float64) semiring.Hop {
+			return semiring.Hop{W: scaled, Via: to}
+		},
+	}
+	x0 := make([]semiring.RouteMap, n)
+	for v := range x0 {
+		x0[v] = semiring.RouteMap{{Target: graph.Node(v), Dist: 0, Next: semiring.NoVia}}
+	}
+	got, iters := routes.RunToFixpoint(x0, MaxIters(n))
+	if iters >= MaxIters(n) {
+		t.Fatal("routing oracle did not converge")
+	}
+
+	gp := h.Hop.Graph
+	for v := 0; v < n; v++ {
+		if len(got[v]) != n {
+			t.Fatalf("node %d has %d routes, want %d", v, len(got[v]), n)
+		}
+		for w := 0; w < n; w++ {
+			r, ok := got[v].Get(graph.Node(w))
+			if !ok {
+				t.Fatalf("missing route (%d,%d)", v, w)
+			}
+			if math.Abs(r.Dist-exact.At(v, w)) > 1e-9 {
+				t.Fatalf("route (%d,%d) dist %v, want %v", v, w, r.Dist, exact.At(v, w))
+			}
+			if v == w {
+				continue
+			}
+			// The next hop is a G′ neighbor of v (the oracle routes along
+			// G′ edges, which realise H's paths).
+			if r.Next == semiring.NoVia {
+				t.Fatalf("route (%d,%d) has no next hop", v, w)
+			}
+			if _, ok := gp.HasEdge(graph.Node(v), r.Next); !ok {
+				t.Fatalf("route (%d,%d): next hop %d not a G′ neighbor", v, w, r.Next)
+			}
+		}
+	}
+}
+
+func TestGenericOracleRunFixedIterations(t *testing.T) {
+	rng := par.NewRNG(3)
+	g := graph.PathGraph(20, 1)
+	hs := hopset.DefaultSkeleton(g, rng, nil)
+	h := Build(hs, 0, rng)
+	gen := &GenericOracle[float64, semiring.DistMap]{
+		H:      h,
+		Module: semiring.DistMapModule{},
+		Weight: func(_, _ graph.Node, scaled float64) float64 { return scaled },
+	}
+	x0 := make([]semiring.DistMap, h.N())
+	x0[0] = semiring.DistMap{{Node: 0, Dist: 0}}
+	out := gen.Run(x0, 2)
+	if len(out) != h.N() {
+		t.Fatal("wrong output length")
+	}
+	// After ≥1 iterations, node 0's entry must have spread somewhere.
+	spread := 0
+	for _, x := range out {
+		if !semiring.IsInf(x.Get(0)) {
+			spread++
+		}
+	}
+	if spread < 2 {
+		t.Fatalf("information did not propagate: %d nodes reached", spread)
+	}
+}

@@ -1,0 +1,244 @@
+// Package simgraph implements the simulated graph H of §4 of Friedrichs &
+// Lenzen and the oracle of §5 that answers MBF-like queries on H without
+// ever materialising it.
+//
+// Given G′ (the input graph augmented with a (d, ε̂)-hop set), H is the
+// complete graph on V whose edge {v,w} has weight
+//
+//	ω_Λ({v,w}) = (1+ε̂)^{Λ−λ(v,w)} · dist^d(v,w,G′),
+//
+// where each node's level λ(v) is sampled geometrically (start at 0, raise
+// with probability 1/2 per step), Λ is the maximum level, and λ(v,w) =
+// min{λ(v), λ(w)}. High-level edges receive smaller penalties and therefore
+// attract shortest paths; Lemmas 4.3/4.4 then bound every min-hop shortest
+// path of H to O(log n) hops per level and O(log² n) hops overall
+// (Theorem 4.5), while distances stay within (1+ε̂)^{Λ+1} of those of G.
+//
+// Explicitly constructing H would cost Ω(n²) work. Instead the oracle uses
+// the decomposition of Lemma 5.1,
+//
+//	A_H = ⊕_{λ=0}^{Λ} P_λ A_λ^d P_λ,
+//
+// where P_λ projects onto nodes of level ≥ λ and A_λ is the adjacency
+// matrix of G′ scaled by (1+ε̂)^{Λ−λ}: one MBF-like iteration on H becomes
+// Λ+1 parallel runs of d filtered iterations on G′ (Equation 5.9),
+// re-filtered and aggregated — which is valid precisely because filters are
+// representative projections of congruence relations (Corollary 2.17).
+package simgraph
+
+import (
+	"math"
+
+	"parmbf/internal/graph"
+	"parmbf/internal/hopset"
+	"parmbf/internal/mbf"
+	"parmbf/internal/par"
+	"parmbf/internal/semiring"
+)
+
+// H is the implicit simulated graph.
+type H struct {
+	// Hop is the underlying (d, ε̂)-hop-set result; Hop.Graph is G′.
+	Hop *hopset.Result
+	// Level[v] is λ(v).
+	Level []int
+	// Lambda is Λ, the maximum sampled level.
+	Lambda int
+	// EpsHat is the penalty base ε̂ of the level weights ω_Λ.
+	EpsHat float64
+	// scale[λ] caches (1+ε̂)^{Λ−λ}.
+	scale []float64
+}
+
+// DefaultEpsHat returns the penalty base used when the caller passes 0:
+// ε̂ = 1/⌈log₂ n⌉², which keeps the accumulated stretch
+// (1+ε̂)^{Λ+1} ⊆ 1 + O(1/log n) (Equation 4.16).
+func DefaultEpsHat(n int) float64 {
+	l := math.Ceil(math.Log2(float64(n) + 2))
+	return 1 / (l * l)
+}
+
+// Build samples levels for the nodes of the hop-set graph and assembles the
+// implicit simulated graph. epsHat = 0 selects DefaultEpsHat; a negative
+// epsHat disables the level penalty entirely (all scales 1) — this breaks
+// the premises of Lemmas 4.3/4.4 and is provided only for the ablation
+// experiment A2, which measures how SPD(H) degrades without the penalty.
+func Build(hs *hopset.Result, epsHat float64, rng *par.RNG) *H {
+	n := hs.Graph.N()
+	if epsHat == 0 {
+		epsHat = DefaultEpsHat(n)
+	} else if epsHat < 0 {
+		epsHat = 0 // no penalty: (1+0)^{Λ−λ} = 1 for every level
+	}
+	level := make([]int, n)
+	lambda := 0
+	for v := range level {
+		level[v] = rng.Geometric(0.5)
+		if level[v] > lambda {
+			lambda = level[v]
+		}
+	}
+	h := &H{Hop: hs, Level: level, Lambda: lambda, EpsHat: epsHat}
+	h.scale = make([]float64, lambda+1)
+	for l := 0; l <= lambda; l++ {
+		h.scale[l] = math.Pow(1+epsHat, float64(lambda-l))
+	}
+	return h
+}
+
+// N returns the number of nodes of H.
+func (h *H) N() int { return len(h.Level) }
+
+// EdgeLevel returns λ(v,w) = min{λ(v), λ(w)}.
+func (h *H) EdgeLevel(v, w graph.Node) int {
+	lv, lw := h.Level[v], h.Level[w]
+	if lw < lv {
+		return lw
+	}
+	return lv
+}
+
+// EdgeWeight returns ω_Λ({v,w}) (Equation 4.2), computing dist^d(v,w,G′) on
+// demand. It is intended for tests and spot checks — sweeping all pairs
+// costs the Ω(n²) work the oracle exists to avoid.
+func (h *H) EdgeWeight(v, w graph.Node) float64 {
+	if v == w {
+		return 0
+	}
+	d := graph.HopLimitedDistance(h.Hop.Graph, v, w, h.Hop.D)
+	if semiring.IsInf(d) {
+		return semiring.Inf
+	}
+	return h.scale[h.EdgeLevel(v, w)] * d
+}
+
+// Materialize constructs H explicitly as a weighted graph — Θ(n·d·m) work —
+// for validation experiments (E2/E3) on small inputs.
+func (h *H) Materialize() *graph.Graph {
+	n := h.N()
+	gp := h.Hop.Graph
+	out := graph.New(n)
+	rows := make([][]float64, n)
+	par.ForEach(n, func(v int) {
+		rows[v] = graph.BellmanFord(gp, graph.Node(v), h.Hop.D)
+	})
+	for v := 0; v < n; v++ {
+		for w := v + 1; w < n; w++ {
+			d := rows[v][w]
+			if semiring.IsInf(d) {
+				continue
+			}
+			out.AddEdge(graph.Node(v), graph.Node(w), h.scale[h.EdgeLevel(graph.Node(v), graph.Node(w))]*d)
+		}
+	}
+	return out
+}
+
+// Oracle answers MBF-like queries on H over the distance-map semimodule D
+// (Theorem 5.2). It is safe for sequential reuse across queries.
+type Oracle struct {
+	H       *H
+	Tracker *par.Tracker
+}
+
+// NewOracle returns an oracle for H charging work/depth to tracker (which
+// may be nil).
+func NewOracle(h *H, tracker *par.Tracker) *Oracle {
+	return &Oracle{H: h, Tracker: tracker}
+}
+
+// project applies P_λ: entries at nodes of level < λ are reset to ⊥.
+func (o *Oracle) project(x []semiring.DistMap, lambda int) []semiring.DistMap {
+	if lambda == 0 {
+		return x // P_0 is the identity: every node has level ≥ 0.
+	}
+	out := make([]semiring.DistMap, len(x))
+	for v := range x {
+		if o.H.Level[v] >= lambda {
+			out[v] = x[v]
+		}
+	}
+	return out
+}
+
+// Iterate simulates one MBF-like iteration on H:
+//
+//	x ↦ r^V ( ⊕_{λ=0}^{Λ} P_λ (r^V A_λ)^d P_λ x )
+//
+// (Equation 5.9). filter must be a representative projection of a
+// congruence relation on D; Corollary 2.17 guarantees the result equals the
+// unfiltered iteration r^V(A_H x).
+func (o *Oracle) Iterate(x []semiring.DistMap, filter semiring.Filter[semiring.DistMap]) []semiring.DistMap {
+	h := o.H
+	gp := h.Hop.Graph
+	n := len(x)
+	perLevel := make([][]semiring.DistMap, h.Lambda+1)
+	for lambda := 0; lambda <= h.Lambda; lambda++ {
+		scale := h.scale[lambda]
+		runner := &mbf.Runner[float64, semiring.DistMap]{
+			Graph:  gp,
+			Module: semiring.DistMapModule{},
+			Filter: filter,
+			Weight: func(_, _ graph.Node, w float64) float64 { return scale * w },
+			Size:   func(m semiring.DistMap) int { return len(m) + 1 },
+			// Note: per-level runs are independent (they would execute in
+			// parallel in the PRAM formulation), so each charges its own
+			// work; the oracle charges the depth of the deepest level once.
+			Tracker: o.Tracker,
+		}
+		y := o.project(x, lambda)
+		y = runner.Run(y, h.Hop.D)
+		perLevel[lambda] = o.project(y, lambda)
+	}
+	out := make([]semiring.DistMap, n)
+	par.ForEach(n, func(v int) {
+		parts := make([]semiring.DistMap, 0, h.Lambda+1)
+		for lambda := 0; lambda <= h.Lambda; lambda++ {
+			parts = append(parts, perLevel[lambda][v])
+		}
+		out[v] = filter(semiring.MergeMin(parts...))
+	})
+	return out
+}
+
+// Run performs h MBF-like iterations on H starting from x0.
+func (o *Oracle) Run(x0 []semiring.DistMap, filter semiring.Filter[semiring.DistMap], iters int) []semiring.DistMap {
+	x := make([]semiring.DistMap, len(x0))
+	for i, s := range x0 {
+		x[i] = filter(s)
+	}
+	for i := 0; i < iters; i++ {
+		x = o.Iterate(x, filter)
+	}
+	return x
+}
+
+// RunToFixpoint iterates on H until the filtered states stop changing or
+// maxIters is hit, returning the states and the iteration count. Since
+// SPD(H) ∈ O(log² n) w.h.p. (Theorem 4.5), the fixpoint arrives after
+// polylogarithmically many oracle iterations.
+func (o *Oracle) RunToFixpoint(x0 []semiring.DistMap, filter semiring.Filter[semiring.DistMap], maxIters int) ([]semiring.DistMap, int) {
+	mod := semiring.DistMapModule{}
+	x := make([]semiring.DistMap, len(x0))
+	for i, s := range x0 {
+		x[i] = filter(s)
+	}
+	for it := 0; it < maxIters; it++ {
+		next := o.Iterate(x, filter)
+		same := par.Reduce(len(x), true,
+			func(i int) bool { return mod.Equal(x[i], next[i]) },
+			func(a, b bool) bool { return a && b })
+		if same {
+			return next, it
+		}
+		x = next
+	}
+	return x, maxIters
+}
+
+// MaxIters returns the default iteration cap 4·(⌈log₂ n⌉+1)², comfortably
+// above the O(log² n) w.h.p. bound on SPD(H) of Theorem 4.5.
+func MaxIters(n int) int {
+	l := int(math.Ceil(math.Log2(float64(n)+2))) + 1
+	return 4 * l * l
+}

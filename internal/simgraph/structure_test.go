@@ -1,0 +1,126 @@
+package simgraph
+
+// Structural tests of §4: Lemma 4.3 (min-hop shortest paths in H never use
+// an edge below the level of their endpoints — levels first rise, then
+// fall) and the per-level hop bound that drives Theorem 4.5.
+
+import (
+	"testing"
+
+	"parmbf/internal/graph"
+	"parmbf/internal/hopset"
+	"parmbf/internal/par"
+	"parmbf/internal/semiring"
+)
+
+// minHopShortestPath returns one min-hop shortest v-w-path in hg (node
+// sequence), using Dijkstra's (dist, hops) relaxation and parent pointers.
+func minHopShortestPath(hg *graph.Graph, v, w graph.Node) []graph.Node {
+	return graph.Dijkstra(hg, v).PathTo(w)
+}
+
+func TestLemma43MinHopPathsRespectLevels(t *testing.T) {
+	rng := par.NewRNG(1)
+	g := graph.PathGraph(80, 1)
+	hs := hopset.DefaultSkeleton(g, rng, nil)
+	h := Build(hs, 0, rng)
+	hg := h.Materialize()
+
+	for _, pair := range [][2]graph.Node{{0, 79}, {5, 60}, {20, 75}, {3, 42}} {
+		v, w := pair[0], pair[1]
+		path := minHopShortestPath(hg, v, w)
+		if path == nil {
+			t.Fatalf("no path %d→%d in H", v, w)
+		}
+		lam := h.EdgeLevel(v, w)
+		// Lemma 4.3: every edge of the path has level ≥ λ(v, w).
+		for i := 1; i < len(path); i++ {
+			if el := h.EdgeLevel(path[i-1], path[i]); el < lam {
+				t.Fatalf("edge {%d,%d} of min-hop SP has level %d < λ(%d,%d) = %d",
+					path[i-1], path[i], el, v, w, lam)
+			}
+		}
+		// Monotone rise then fall of edge levels along the path.
+		levels := make([]int, 0, len(path)-1)
+		for i := 1; i < len(path); i++ {
+			levels = append(levels, h.EdgeLevel(path[i-1], path[i]))
+		}
+		peak := 0
+		for i := 1; i < len(levels); i++ {
+			if levels[i] > levels[peak] {
+				peak = i
+			}
+		}
+		for i := 1; i <= peak; i++ {
+			if levels[i] < levels[i-1] {
+				t.Fatalf("levels not monotone rising before peak: %v", levels)
+			}
+		}
+		for i := peak + 1; i < len(levels); i++ {
+			if levels[i] > levels[i-1] {
+				t.Fatalf("levels not monotone falling after peak: %v", levels)
+			}
+		}
+	}
+}
+
+func TestHighLevelNodesHaveShortPathsBetweenThem(t *testing.T) {
+	// The mechanism behind Lemma 4.4: pairs of high-level nodes connect via
+	// few hops in H, because their direct edge carries a small penalty.
+	rng := par.NewRNG(2)
+	g := graph.PathGraph(100, 1)
+	hs := hopset.DefaultSkeleton(g, rng, nil)
+	h := Build(hs, 0, rng)
+	hg := h.Materialize()
+	spd := graph.SPD(hg)
+	// Theorem 4.5's envelope at this size.
+	if cap := MaxIters(g.N()); spd > cap {
+		t.Fatalf("SPD(H) = %d above cap %d", spd, cap)
+	}
+	// Top-level nodes are pairwise within 1 hop of optimal: their direct
+	// edge is unpenalised.
+	var top []graph.Node
+	for v, l := range h.Level {
+		if l == h.Lambda {
+			top = append(top, graph.Node(v))
+		}
+	}
+	if len(top) >= 2 {
+		v, w := top[0], top[1]
+		res := graph.Dijkstra(hg, v)
+		direct, _ := hg.HasEdge(v, w)
+		if res.Dist[w] < direct-1e-9 && res.Hops[w] > 2*h.Lambda+2 {
+			t.Fatalf("top-level pair needs %d hops", res.Hops[w])
+		}
+	}
+}
+
+func TestQuickOracleSingleSourceMatchesExplicitH(t *testing.T) {
+	// Property check over seeds: oracle SSSP-style queries (source
+	// detection from one node) match explicit-H distances.
+	for seed := uint64(10); seed < 15; seed++ {
+		rng := par.NewRNG(seed)
+		g := graph.RandomConnected(30, 70, 5, rng)
+		hs := hopset.DefaultSkeleton(g, rng, nil)
+		h := Build(hs, 0, rng)
+		oracle := NewOracle(h, nil)
+		x0 := make([]distMap, h.N())
+		x0[0] = distMap{{Node: 0, Dist: 0}}
+		identity := identityFilter()
+		got, _ := oracle.RunToFixpoint(x0, identity, MaxIters(h.N()))
+		exact := graph.Dijkstra(h.Materialize(), 0)
+		for v := 0; v < h.N(); v++ {
+			d := got[v].Get(0)
+			if diff := d - exact.Dist[v]; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("seed %d node %d: oracle %v vs explicit %v", seed, v, d, exact.Dist[v])
+			}
+		}
+	}
+}
+
+// local aliases keeping the property test terse.
+type distMap = semiring.DistMap
+
+func identityFilter() semiring.Filter[semiring.DistMap] {
+	return semiring.Identity[semiring.DistMap]()
+}

@@ -1,0 +1,208 @@
+// Package spanner implements the randomised (2k−1)-spanner of Baswana and
+// Sen [8], the preprocessing step of Theorem 6.2 and Corollary 7.11 of
+// Friedrichs & Lenzen: a subgraph G′ ⊆ G with O(k·n^{1+1/k}) edges in
+// expectation satisfying
+//
+//	dist(v,w,G) ≤ dist(v,w,G′) ≤ (2k−1)·dist(v,w,G)
+//
+// for all pairs. Feeding G′ into the tree-embedding pipeline trades a
+// factor O(k) of stretch for near-linear size.
+//
+// The construction runs k−1 clustering rounds: each round samples surviving
+// clusters with probability n^{-1/k}; an unsampled vertex either joins its
+// cheapest adjacent sampled cluster (keeping that connecting edge and one
+// cheapest edge to every cluster that is strictly cheaper) or, lacking
+// sampled neighbors, keeps one cheapest edge per adjacent cluster and
+// retires. A final round connects every vertex to each adjacent surviving
+// cluster with a cheapest edge.
+package spanner
+
+import (
+	"math"
+
+	"parmbf/internal/graph"
+	"parmbf/internal/par"
+)
+
+// Build computes a (2k−1)-spanner of g. k must be ≥ 1; k = 1 returns a copy
+// of g (stretch 1). The input graph is not modified.
+func Build(g *graph.Graph, k int, rng *par.RNG, tracker *par.Tracker) *graph.Graph {
+	n := g.N()
+	out := graph.New(n)
+	if k <= 1 {
+		for _, e := range g.Edges() {
+			out.AddEdge(e.U, e.V, e.Weight)
+		}
+		return out
+	}
+	p := math.Pow(float64(n), -1/float64(k))
+
+	// cluster[v] is the id of v's current cluster, or -1 once v retired.
+	cluster := make([]int32, n)
+	for v := range cluster {
+		cluster[v] = int32(v)
+	}
+	// alive marks edges still under consideration, addressed via the
+	// position of the arc in each endpoint's adjacency list. We keep one
+	// boolean per (node, arc-index).
+	alive := make([][]bool, n)
+	for v := 0; v < n; v++ {
+		alive[v] = make([]bool, g.Degree(graph.Node(v)))
+		for i := range alive[v] {
+			alive[v][i] = true
+		}
+	}
+	// kill marks the arc v→w (and its reverse) dead.
+	kill := func(v graph.Node, idx int) {
+		alive[v][idx] = false
+		w := g.Neighbors(v)[idx].To
+		for j, a := range g.Neighbors(w) {
+			if a.To == v {
+				alive[w][j] = false
+				return
+			}
+		}
+	}
+
+	type best struct {
+		idx    int
+		weight float64
+	}
+	// cheapestPerCluster scans v's alive arcs and returns, per adjacent
+	// cluster, the index of the cheapest arc.
+	cheapestPerCluster := func(v graph.Node) map[int32]best {
+		m := make(map[int32]best)
+		for i, a := range g.Neighbors(v) {
+			if !alive[v][i] {
+				continue
+			}
+			c := cluster[a.To]
+			if c == -1 || c == cluster[v] {
+				continue
+			}
+			if b, ok := m[c]; !ok || a.Weight < b.weight {
+				m[c] = best{idx: i, weight: a.Weight}
+			}
+		}
+		return m
+	}
+
+	work := int64(0)
+	for round := 1; round < k; round++ {
+		// Sample the surviving clusters.
+		sampled := make(map[int32]bool)
+		seen := make(map[int32]bool)
+		for v := 0; v < n; v++ {
+			c := cluster[v]
+			if c == -1 || seen[c] {
+				continue
+			}
+			seen[c] = true
+			if rng.Float64() < p {
+				sampled[c] = true
+			}
+		}
+		next := make([]int32, n)
+		for v := 0; v < n; v++ {
+			c := cluster[v]
+			switch {
+			case c == -1:
+				next[v] = -1
+			case sampled[c]:
+				next[v] = c
+			default:
+				next[v] = -1 // decided below
+			}
+		}
+		for vi := 0; vi < n; vi++ {
+			v := graph.Node(vi)
+			c := cluster[vi]
+			if c == -1 || sampled[c] {
+				continue
+			}
+			adj := cheapestPerCluster(v)
+			work += int64(g.Degree(v))
+			// Cheapest sampled adjacent cluster, if any.
+			bestC, found := int32(-1), false
+			var bestB best
+			for cc, b := range adj {
+				if !sampled[cc] {
+					continue
+				}
+				if !found || b.weight < bestB.weight || (b.weight == bestB.weight && cc < bestC) {
+					bestC, bestB, found = cc, b, true
+				}
+			}
+			if found {
+				// Join bestC via its cheapest edge.
+				a := g.Neighbors(v)[bestB.idx]
+				out.AddEdge(v, a.To, a.Weight)
+				next[vi] = bestC
+				// Keep one cheapest edge to every strictly cheaper cluster
+				// and drop all edges into those clusters and into bestC.
+				for cc, b := range adj {
+					if cc == bestC {
+						continue
+					}
+					if b.weight < bestB.weight {
+						e := g.Neighbors(v)[b.idx]
+						out.AddEdge(v, e.To, e.Weight)
+						for i, arc := range g.Neighbors(v) {
+							if alive[v][i] && cluster[arc.To] == cc {
+								kill(v, i)
+							}
+						}
+					}
+				}
+				for i, arc := range g.Neighbors(v) {
+					if alive[v][i] && cluster[arc.To] == bestC {
+						kill(v, i)
+					}
+				}
+			} else {
+				// No sampled neighbor: keep one cheapest edge per adjacent
+				// cluster, then retire v with all its edges.
+				for _, b := range adj {
+					e := g.Neighbors(v)[b.idx]
+					out.AddEdge(v, e.To, e.Weight)
+				}
+				for i := range g.Neighbors(v) {
+					if alive[v][i] {
+						kill(v, i)
+					}
+				}
+				next[vi] = -1
+			}
+		}
+		cluster = next
+	}
+
+	// Final round: every vertex keeps one cheapest alive edge to each
+	// adjacent surviving cluster.
+	for vi := 0; vi < n; vi++ {
+		v := graph.Node(vi)
+		for _, b := range cheapestPerCluster(v) {
+			e := g.Neighbors(v)[b.idx]
+			out.AddEdge(v, e.To, e.Weight)
+		}
+		work += int64(g.Degree(v))
+	}
+	tracker.AddPhase(work, int64(k))
+	return out
+}
+
+// RecommendedK returns the k achieving edge budget ≈ n^{1+ε}: the k of
+// Theorem 6.2's proof, ⌈1/(√(1+ε)−1)⌉ clamped to [2, log₂ n].
+func RecommendedK(n int, eps float64) int {
+	if eps <= 0 {
+		eps = 0.5
+	}
+	k := int(math.Ceil(1 / (math.Sqrt(1+eps) - 1)))
+	if k < 2 {
+		k = 2
+	}
+	if max := int(math.Log2(float64(n) + 2)); k > max {
+		k = max
+	}
+	return k
+}

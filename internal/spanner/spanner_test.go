@@ -1,0 +1,129 @@
+package spanner
+
+import (
+	"math"
+	"testing"
+
+	"parmbf/internal/graph"
+	"parmbf/internal/par"
+)
+
+// maxStretch returns the worst dist_spanner/dist_G ratio over all connected
+// pairs.
+func maxStretch(g, s *graph.Graph) float64 {
+	eg := graph.APSPDijkstra(g)
+	es := graph.APSPDijkstra(s)
+	worst := 1.0
+	for v := 0; v < g.N(); v++ {
+		for w := v + 1; w < g.N(); w++ {
+			dg := eg.At(v, w)
+			ds := es.At(v, w)
+			if ds/dg > worst {
+				worst = ds / dg
+			}
+			if ds < dg-1e-9 {
+				return -1 // spanner shortened a distance: broken
+			}
+		}
+	}
+	return worst
+}
+
+func TestK1ReturnsCopy(t *testing.T) {
+	rng := par.NewRNG(1)
+	g := graph.RandomConnected(20, 50, 5, rng)
+	s := Build(g, 1, rng, nil)
+	if s.M() != g.M() {
+		t.Fatalf("k=1 spanner has %d edges, want %d", s.M(), g.M())
+	}
+	if got := maxStretch(g, s); got != 1 {
+		t.Fatalf("k=1 stretch %v", got)
+	}
+}
+
+func TestStretchBoundHolds(t *testing.T) {
+	for _, k := range []int{2, 3, 5} {
+		for seed := uint64(0); seed < 3; seed++ {
+			rng := par.NewRNG(100*uint64(k) + seed)
+			g := graph.RandomConnected(60, 300, 8, rng)
+			s := Build(g, k, rng, nil)
+			got := maxStretch(g, s)
+			if got == -1 {
+				t.Fatalf("k=%d seed=%d: spanner shortened a distance", k, seed)
+			}
+			if bound := float64(2*k - 1); got > bound+1e-9 {
+				t.Fatalf("k=%d seed=%d: stretch %.3f exceeds %v", k, seed, got, bound)
+			}
+		}
+	}
+}
+
+func TestSpannerIsSubgraph(t *testing.T) {
+	rng := par.NewRNG(2)
+	g := graph.RandomConnected(40, 200, 6, rng)
+	s := Build(g, 3, rng, nil)
+	for _, e := range s.Edges() {
+		w, ok := g.HasEdge(e.U, e.V)
+		if !ok || w != e.Weight {
+			t.Fatalf("spanner edge {%d,%d}:%v not in G", e.U, e.V, e.Weight)
+		}
+	}
+}
+
+func TestSpannerSparsifiesDenseGraphs(t *testing.T) {
+	rng := par.NewRNG(3)
+	n := 100
+	g := graph.RandomConnected(n, n*(n-1)/4, 5, rng)
+	k := 3
+	s := Build(g, k, rng, nil)
+	// Expected size O(k·n^{1+1/k}); allow a generous constant of 8.
+	bound := 8 * float64(k) * math.Pow(float64(n), 1+1/float64(k))
+	if float64(s.M()) > bound {
+		t.Fatalf("spanner size %d exceeds %0.f", s.M(), bound)
+	}
+	if s.M() >= g.M() {
+		t.Fatalf("spanner (%d edges) did not sparsify G (%d edges)", s.M(), g.M())
+	}
+}
+
+func TestSpannerKeepsConnectivity(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		rng := par.NewRNG(40 + seed)
+		g := graph.RandomConnected(50, 150, 5, rng)
+		s := Build(g, 4, rng, nil)
+		if !s.Connected() {
+			t.Fatalf("seed %d: spanner disconnected", seed)
+		}
+	}
+}
+
+func TestSpannerOnGrid(t *testing.T) {
+	rng := par.NewRNG(5)
+	g := graph.GridGraph(8, 8, 3, rng)
+	s := Build(g, 2, rng, nil)
+	if got := maxStretch(g, s); got == -1 || got > 3+1e-9 {
+		t.Fatalf("grid stretch %v exceeds 3", got)
+	}
+}
+
+func TestSpannerTracksWork(t *testing.T) {
+	rng := par.NewRNG(6)
+	g := graph.RandomConnected(30, 100, 4, rng)
+	tr := &par.Tracker{}
+	Build(g, 3, rng, tr)
+	if tr.Work() == 0 {
+		t.Fatal("tracker not charged")
+	}
+}
+
+func TestRecommendedK(t *testing.T) {
+	if k := RecommendedK(1000, 1.0); k != 3 {
+		t.Fatalf("RecommendedK(1000, 1) = %d, want 3 (1/(√2−1) ≈ 2.41 → 3)", k)
+	}
+	if k := RecommendedK(1000, 0); k < 2 {
+		t.Fatalf("default eps must give k ≥ 2, got %d", k)
+	}
+	if k := RecommendedK(4, 0.0001); k > 3 {
+		t.Fatalf("k = %d not clamped to log₂ n", k)
+	}
+}

@@ -1,0 +1,138 @@
+package parmbf
+
+import (
+	"testing"
+)
+
+func TestFacadeSampleTree(t *testing.T) {
+	g := RandomConnected(50, 120, 6, NewRNG(1))
+	emb, err := SampleTree(g, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := emb.Tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	exact := ExactAPSP(g)
+	for u := 0; u < g.N(); u += 5 {
+		for v := u + 1; v < g.N(); v += 7 {
+			if emb.Tree.Dist(Node(u), Node(v)) < exact.At(u, v)-1e-9 {
+				t.Fatalf("dominance violated at (%d,%d)", u, v)
+			}
+		}
+	}
+}
+
+func TestFacadeDeterminism(t *testing.T) {
+	g := RandomConnected(30, 70, 5, NewRNG(2))
+	a, err := SampleTree(g, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SampleTree(g, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Beta != b.Beta || a.Tree.NumNodes() != b.Tree.NumNodes() {
+		t.Fatal("same seed produced different embeddings")
+	}
+	for v := 0; v < g.N(); v++ {
+		for w := v + 1; w < g.N(); w++ {
+			if a.Tree.Dist(Node(v), Node(w)) != b.Tree.Dist(Node(v), Node(w)) {
+				t.Fatal("same seed produced different tree metrics")
+			}
+		}
+	}
+	c, err := SampleTree(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Beta == c.Beta && a.Order.Rank[0] == c.Order.Rank[0] && a.Order.Rank[1] == c.Order.Rank[1] {
+		t.Fatal("different seeds produced identical randomness")
+	}
+}
+
+func TestFacadeExactSampler(t *testing.T) {
+	g := GridGraph(5, 5, 3, NewRNG(3))
+	emb, err := SampleTreeExact(g, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := emb.Tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeApproxMetric(t *testing.T) {
+	g := RandomConnected(40, 90, 5, NewRNG(4))
+	m, ratio := ApproxMetric(g, 11)
+	if ratio < 1 {
+		t.Fatalf("ratio %v below 1", ratio)
+	}
+	exact := ExactAPSP(g)
+	for v := 0; v < g.N(); v++ {
+		for w := 0; w < g.N(); w++ {
+			if v == w {
+				continue
+			}
+			if m.At(v, w) < exact.At(v, w)-1e-9 || m.At(v, w) > ratio*exact.At(v, w)+1e-9 {
+				t.Fatalf("approx metric out of band at (%d,%d)", v, w)
+			}
+		}
+	}
+}
+
+func TestFacadeSpanner(t *testing.T) {
+	g := RandomConnected(60, 500, 5, NewRNG(5))
+	s := Spanner(g, 2, 13)
+	if s.M() >= g.M() {
+		t.Fatal("spanner did not sparsify")
+	}
+	if !s.Connected() {
+		t.Fatal("spanner disconnected")
+	}
+}
+
+func TestFacadeKMedian(t *testing.T) {
+	g := Clustered(3, 12, 150, NewRNG(6))
+	res, err := SolveKMedian(g, 3, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centers) == 0 || res.Cost <= 0 {
+		t.Fatalf("degenerate solution: %+v", res)
+	}
+	if res.Cost >= 150 {
+		t.Fatalf("cost %v left a planted cluster unserved", res.Cost)
+	}
+}
+
+func TestFacadeBuyAtBulk(t *testing.T) {
+	g := GridGraph(5, 5, 2, NewRNG(7))
+	demands := []Demand{{S: 0, T: 24, Amount: 10}, {S: 4, T: 20, Amount: 3}}
+	cables := []CableType{{Capacity: 1, Cost: 1}, {Capacity: 20, Cost: 5}}
+	sol, err := SolveBuyAtBulk(g, demands, cables, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Cost <= 0 || len(sol.Purchases) == 0 {
+		t.Fatal("degenerate buy-at-bulk solution")
+	}
+}
+
+func TestFacadeMeasureStretch(t *testing.T) {
+	g := RandomConnected(40, 100, 5, NewRNG(8))
+	rng := NewRNG(23)
+	stats, err := MeasureStretch(g,
+		func() (*Embedding, error) { return SampleTree(g, rng.Uint64()) },
+		3, 20, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MinRatio < 1-1e-9 {
+		t.Fatalf("dominance violated: %v", stats.MinRatio)
+	}
+	if stats.AvgStretch < 1 {
+		t.Fatalf("avg stretch %v", stats.AvgStretch)
+	}
+}

@@ -1,0 +1,72 @@
+package parmbf
+
+import (
+	"parmbf/internal/graph"
+	"parmbf/internal/mbf"
+	"parmbf/internal/semiring"
+)
+
+// This file re-exports the MBF-like algorithm zoo of §3 of the paper
+// through the façade: each function is an instance of the algebraic
+// framework (a semimodule over a semiring, a representative projection, and
+// initial values) run by the generic engine in internal/mbf.
+
+// Path is a directed loop-free path (all-paths semiring, §3.3).
+type Path = semiring.Path
+
+// PathSet assigns weights to paths (the all-paths semiring element type).
+type PathSet = semiring.PathSet
+
+// HopDistances returns the h-hop distances dist^h(source, ·, G) — the
+// classic Moore-Bellman-Ford algorithm as an MBF-like instance
+// (Example 3.3). Use h = g.N()−1 for exact distances.
+func HopDistances(g *Graph, source Node, h int) []float64 {
+	return mbf.SSSP(g, source, h, nil)
+}
+
+// KClosest returns, for every node, the k closest nodes with their exact
+// distances — the k-SSP problem (Example 3.4), whose top-k filter is the
+// paper's flagship illustration of work reduction by filtering.
+func KClosest(g *Graph, k int) []DistMap {
+	return mbf.KSSP(g, k, g.N(), nil)
+}
+
+// NearestSources returns, for every node, its distance to the nearest of
+// the given sources within maxDist, or +Inf — the anonymous "forest fire"
+// detection of Example 3.7.
+func NearestSources(g *Graph, sources []Node, maxDist float64) []float64 {
+	return mbf.ForestFire(g, sources, maxDist, nil)
+}
+
+// WidestPaths returns the widest-path (bottleneck) distances from source —
+// the max-min semiring instance of §3.2 (Example 3.13), e.g. transitive
+// trust in a trust network.
+func WidestPaths(g *Graph, source Node) []float64 {
+	return mbf.SSWP(g, source, g.N(), nil)
+}
+
+// KShortestPaths returns, for every node v, the k lightest simple
+// v-to-target paths with their weights — the k-Shortest Distance Problem
+// (k-SDP, Definition 3.21) over the all-paths semiring of §3.3. With
+// distinct set, weights must be pairwise distinct (k-DSDP).
+func KShortestPaths(g *Graph, target Node, k int, distinct bool) []PathSet {
+	return mbf.KShortestDistances(g, target, k, g.N(), distinct, nil)
+}
+
+// Reachable returns, for every node, the sorted set of nodes reachable
+// within h hops — the Boolean-semiring connectivity of §3.4 (Example
+// 3.25). Unlike the distance computations this tolerates disconnected
+// graphs.
+func Reachable(g *Graph, h int) [][]Node {
+	return mbf.Connectivity(g, h, nil)
+}
+
+// SourceDetection solves (S, h, d, k)-source detection (Example 3.2):
+// every node learns the k closest sources within h hops and distance d.
+func SourceDetection(g *Graph, sources []Node, h int, maxDist float64, k int) []DistMap {
+	set := make([]bool, g.N())
+	for _, s := range sources {
+		set[s] = true
+	}
+	return mbf.SourceDetection(g, func(v graph.Node) bool { return set[v] }, h, maxDist, k, nil)
+}

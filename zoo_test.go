@@ -1,0 +1,151 @@
+package parmbf
+
+import (
+	"testing"
+)
+
+func TestZooHopDistances(t *testing.T) {
+	g := PathGraph(6, 2)
+	d := HopDistances(g, 0, 3)
+	if d[3] != 6 {
+		t.Fatalf("dist³(0,3) = %v, want 6", d[3])
+	}
+	if d[4] != Inf {
+		t.Fatalf("dist³(0,4) = %v, want Inf", d[4])
+	}
+}
+
+func TestZooKClosest(t *testing.T) {
+	g := RandomConnected(40, 100, 6, NewRNG(1))
+	res := KClosest(g, 3)
+	for v, list := range res {
+		if len(list) != 3 {
+			t.Fatalf("node %d keeps %d entries", v, len(list))
+		}
+		if list.Get(Node(v)) != 0 {
+			t.Fatalf("node %d missing itself", v)
+		}
+	}
+}
+
+func TestZooNearestSources(t *testing.T) {
+	g := PathGraph(7, 1)
+	d := NearestSources(g, []Node{0}, 2.5)
+	want := []float64{0, 1, 2, Inf, Inf, Inf, Inf}
+	for v := range want {
+		if d[v] != want[v] {
+			t.Fatalf("node %d: %v, want %v", v, d[v], want[v])
+		}
+	}
+}
+
+func TestZooWidestPaths(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(0, 1, 5)
+	g.AddEdge(1, 2, 3)
+	g.AddEdge(0, 2, 2)
+	w := WidestPaths(g, 0)
+	if w[2] != 3 {
+		t.Fatalf("width(0,2) = %v, want 3 (via node 1)", w[2])
+	}
+}
+
+func TestZooKShortestPaths(t *testing.T) {
+	g := NewGraph(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 3, 1)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(2, 3, 2)
+	res := KShortestPaths(g, 3, 2, false)
+	if len(res[0]) != 2 {
+		t.Fatalf("node 0 keeps %d paths, want 2", len(res[0]))
+	}
+	// The two 0→3 simple paths have weights 2 and 3.
+	var ws []float64
+	for _, w := range res[0] {
+		ws = append(ws, w)
+	}
+	if (ws[0] != 2 || ws[1] != 3) && (ws[0] != 3 || ws[1] != 2) {
+		t.Fatalf("weights %v, want {2,3}", ws)
+	}
+}
+
+func TestZooReachable(t *testing.T) {
+	g := NewGraph(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(2, 3, 1)
+	r := Reachable(g, 4)
+	if len(r[0]) != 2 || len(r[2]) != 2 {
+		t.Fatalf("components wrong: %v", r)
+	}
+}
+
+func TestZooSourceDetection(t *testing.T) {
+	g := PathGraph(6, 1)
+	res := SourceDetection(g, []Node{0, 5}, 6, Inf, 1)
+	// Each node keeps only its closest source.
+	if res[1].Get(0) != 1 || len(res[1]) != 1 {
+		t.Fatalf("node 1: %v", res[1])
+	}
+	if res[4].Get(5) != 1 || len(res[4]) != 1 {
+		t.Fatalf("node 4: %v", res[4])
+	}
+}
+
+func TestFacadeEnsemble(t *testing.T) {
+	g := RandomConnected(40, 100, 5, NewRNG(2))
+	e, err := SampleEnsemble(g, 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Trees) != 3 {
+		t.Fatalf("%d trees", len(e.Trees))
+	}
+	exact := ExactAPSP(g)
+	for u := 0; u < 10; u++ {
+		for v := u + 1; v < 10; v++ {
+			if e.Min(Node(u), Node(v)) < exact.At(u, v)-1e-9 {
+				t.Fatalf("ensemble under-estimated (%d,%d)", u, v)
+			}
+		}
+	}
+}
+
+func TestFacadeDistributed(t *testing.T) {
+	g := RandomConnected(60, 150, 5, NewRNG(3))
+	res := DistributedFRT(g, 17)
+	if res.Rounds <= 0 {
+		t.Fatal("no rounds")
+	}
+	tree, err := BuildTreeFromLists(res, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	exact := ExactAPSP(g)
+	for u := 0; u < g.N(); u += 9 {
+		for v := u + 1; v < g.N(); v += 7 {
+			if tree.Dist(Node(u), Node(v)) < exact.At(u, v)-1e-9 {
+				t.Fatalf("distributed tree under-estimated (%d,%d)", u, v)
+			}
+		}
+	}
+	khan := DistributedKhan(g, 17)
+	skel := DistributedSkeleton(g, 17)
+	if khan.Rounds <= 0 || skel.Rounds <= 0 {
+		t.Fatal("individual algorithms not simulated")
+	}
+}
+
+func TestFacadeKMedianAssignment(t *testing.T) {
+	g := PathGraph(6, 1)
+	assign := KMedianAssignment(g, []Node{1, 4})
+	want := []Node{1, 1, 1, 4, 4, 4}
+	for v := range want {
+		if assign[v] != want[v] {
+			t.Fatalf("assignment %v, want %v", assign, want)
+		}
+	}
+}
