@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: build vet test test-short test-race bench bench-ensemble ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+## Full test tier: every test at full size (~30s on one core).
+test:
+	$(GO) test ./...
+
+## Short tier: slow reproductions skipped; finishes in a few seconds.
+test-short:
+	$(GO) test -short ./...
+
+## Race tier: the packages with internal parallelism, under the race detector.
+test-race:
+	$(GO) test -short -race . ./internal/frt/... ./internal/par/... ./internal/simgraph/...
+
+## Ensemble hot-path benchmarks: shared pipeline vs naive per-tree sampling.
+bench-ensemble:
+	$(GO) test ./internal/frt/ -run xxx -bench 'Ensemble(Naive|Shared)' -benchmem
+
+bench:
+	$(GO) test -bench . -benchmem ./...
+
+ci: vet test-short test-race

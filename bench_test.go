@@ -70,6 +70,10 @@ func BenchmarkE11KMedian(b *testing.B) { benchExperiment(b, experiments.E11KMedi
 // (Theorem 10.2).
 func BenchmarkE12BuyAtBulk(b *testing.B) { benchExperiment(b, experiments.E12BuyAtBulk) }
 
+// BenchmarkE13Ensemble regenerates E13: shared-pipeline ensemble sampling vs
+// the naive per-tree pipeline (§1's "repeat log(ε⁻¹) times" consumption).
+func BenchmarkE13Ensemble(b *testing.B) { benchExperiment(b, experiments.E13Ensemble) }
+
 // BenchmarkA1Filtering regenerates ablation A1: intermediate filtering on
 // vs off (Corollary 2.17).
 func BenchmarkA1Filtering(b *testing.B) { benchExperiment(b, experiments.A1Filtering) }

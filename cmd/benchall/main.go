@@ -31,12 +31,13 @@ func main() {
 		"E7": experiments.E7Metric, "E8": experiments.E8Spanner,
 		"E9": experiments.E9Congest, "E10": experiments.E10Zoo,
 		"E11": experiments.E11KMedian, "E12": experiments.E12BuyAtBulk,
-		"A1": experiments.A1Filtering, "A2": experiments.A2LevelPenalty,
+		"E13": experiments.E13Ensemble,
+		"A1":  experiments.A1Filtering, "A2": experiments.A2LevelPenalty,
 		"A3": experiments.A3HopSetChoice, "A4": experiments.A4SpannerPre,
 		"X1": experiments.X1Steiner,
 	}
 	order := []string{
-		"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12",
+		"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13",
 		"A1", "A2", "A3", "A4", "X1",
 	}
 

@@ -1,7 +1,9 @@
 // Command frtembed samples FRT metric tree embeddings from a weighted
-// graph: it reads (or generates) a graph, draws one or more trees from the
-// FRT distribution using the paper's polylog-depth oracle pipeline, and
-// reports stretch statistics and, optionally, the tree itself.
+// graph: it reads (or generates) a graph, draws -trees trees from the FRT
+// distribution through the shared-pipeline Embedder (hop set, simulated
+// graph H, and oracle built once; trees sampled concurrently), and reports
+// per-tree stretch and ensemble min-stretch statistics and, optionally, the
+// first tree itself.
 //
 // Usage:
 //
@@ -36,6 +38,10 @@ func main() {
 	)
 	flag.Parse()
 
+	if *trees < 1 {
+		fmt.Fprintln(os.Stderr, "error: -trees must be ≥ 1")
+		os.Exit(1)
+	}
 	rng := par.NewRNG(*seed)
 	g, err := loadGraph(*in, *gen, *n, *m, rng)
 	if err != nil {
@@ -44,30 +50,58 @@ func main() {
 	}
 	fmt.Printf("graph: n=%d m=%d connected=%v\n", g.N(), g.M(), g.Connected())
 
+	// Sample all trees up front: the oracle pipeline goes through the
+	// Embedder, which builds the hop set, H, and the oracle once and draws
+	// the trees concurrently; the exact baseline stays per-tree.
+	var embs []*frt.Embedding
+	var err2 error
+	if *exact {
+		for i := 0; i < *trees; i++ {
+			emb, err := frt.SampleExact(g, rng, nil)
+			if err != nil {
+				err2 = err
+				break
+			}
+			embs = append(embs, emb)
+		}
+	} else {
+		var e *frt.Embedder
+		e, err2 = frt.NewEmbedder(g, frt.Options{RNG: rng})
+		if err2 == nil {
+			embs, err2 = e.SampleEmbeddings(*trees)
+		}
+	}
+	if err2 != nil {
+		fmt.Fprintln(os.Stderr, "error:", err2)
+		os.Exit(1)
+	}
 	var first *frt.Embedding
+	if len(embs) > 0 {
+		first = embs[0]
+	}
+	next := 0
 	sampler := func() (*frt.Embedding, error) {
-		var emb *frt.Embedding
-		var err error
-		if *exact {
-			emb, err = frt.SampleExact(g, rng, nil)
-		} else {
-			emb, err = frt.Sample(g, frt.Options{RNG: rng})
-		}
-		if err == nil && first == nil {
-			first = emb
-		}
-		return emb, err
+		emb := embs[next]
+		next++
+		return emb, nil
 	}
 	stats, err := frt.MeasureStretch(g, sampler, *trees, *pairs, rng)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
+	ensemble := &frt.Ensemble{Trees: make([]*frt.Tree, len(embs))}
+	for i, emb := range embs {
+		ensemble.Trees[i] = emb.Tree
+	}
+	estats := ensemble.Evaluate(g, *pairs, rng)
 	fmt.Printf("trees=%d pairs=%d\n", stats.Trees, stats.Pairs)
 	fmt.Printf("avg stretch        %.3f\n", stats.AvgStretch)
 	fmt.Printf("max avg stretch    %.3f\n", stats.MaxAvgStretch)
 	fmt.Printf("max single stretch %.3f\n", stats.MaxStretch)
 	fmt.Printf("min ratio          %.3f (must be ≥ 1)\n", stats.MinRatio)
+	fmt.Printf("ensemble min-stretch avg %.3f max %.3f dominance=%v\n",
+		estats.AvgMinStretch, estats.MaxMinStretch, estats.DominanceOK)
 	if first != nil {
 		fmt.Printf("first tree: %d tree nodes, depth %d, β=%.3f, oracle iterations %d\n",
 			first.Tree.NumNodes(), first.Tree.Depth(), first.Beta, first.Iterations)

@@ -1,0 +1,3 @@
+module parmbf
+
+go 1.24

@@ -125,6 +125,9 @@ func TestSkeletonListsMatchOverlayLE(t *testing.T) {
 // with hop diameter 2 but SPD ≈ n (starPath), the skeleton algorithm needs
 // fewer simulated rounds than per-hop iteration.
 func TestSkeletonBeatsKhanOnHighSPD(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow test: skipped with -short")
+	}
 	g := starPath(800)
 	khan := Khan(g, par.NewRNG(6))
 	skel := Skeleton(g, par.NewRNG(7), SkeletonOptions{Ell: 150, C: 1.5, SpannerK: 3})
@@ -134,6 +137,9 @@ func TestSkeletonBeatsKhanOnHighSPD(t *testing.T) {
 }
 
 func TestKhanBeatsSkeletonOnLowSPD(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow test: skipped with -short")
+	}
 	// On a dense low-SPD graph Khan's O(SPD·log n) rounds beat the
 	// skeleton's Õ(√n) setup cost.
 	rng := par.NewRNG(8)

@@ -448,6 +448,7 @@ func All(cfg Config) []*Table {
 		E1Stretch(cfg), E2SPDH(cfg), E3HStretch(cfg), E4LELists(cfg),
 		E5Work(cfg), E6HopSet(cfg), E7Metric(cfg), E8Spanner(cfg),
 		E9Congest(cfg), E10Zoo(cfg), E11KMedian(cfg), E12BuyAtBulk(cfg),
+		E13Ensemble(cfg),
 		A1Filtering(cfg), A2LevelPenalty(cfg), A3HopSetChoice(cfg), A4SpannerPre(cfg),
 		X1Steiner(cfg),
 	}

@@ -36,6 +36,9 @@ func checkShape(t *testing.T, tb *Table) {
 }
 
 func TestE1StretchQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow test: skipped with -short")
+	}
 	tb := E1Stretch(quick)
 	checkShape(t, tb)
 	for _, r := range tb.Rows {
@@ -49,6 +52,9 @@ func TestE1StretchQuick(t *testing.T) {
 }
 
 func TestE2SPDHQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow test: skipped with -short")
+	}
 	tb := E2SPDH(quick)
 	checkShape(t, tb)
 	for _, r := range tb.Rows {
@@ -82,6 +88,9 @@ func TestE4LEListsQuick(t *testing.T) {
 }
 
 func TestE5WorkQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow test: skipped with -short")
+	}
 	tb := E5Work(quick)
 	checkShape(t, tb)
 }
@@ -102,6 +111,9 @@ func TestE6HopSetQuick(t *testing.T) {
 }
 
 func TestE7MetricQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow test: skipped with -short")
+	}
 	tb := E7Metric(quick)
 	checkShape(t, tb)
 	for _, r := range tb.Rows {
@@ -164,6 +176,22 @@ func TestE12BuyAtBulkQuick(t *testing.T) {
 	}
 }
 
+func TestE13EnsembleQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow test: skipped with -short")
+	}
+	tb := E13Ensemble(quick)
+	checkShape(t, tb)
+	for _, r := range tb.Rows {
+		if r[7] != "true" {
+			t.Fatalf("ensemble dominance violated in %v", r)
+		}
+		if stretch := parse(t, r[6]); stretch < 1-1e-9 {
+			t.Fatalf("min-stretch below 1 in %v", r)
+		}
+	}
+}
+
 func TestA1FilteringQuick(t *testing.T) {
 	tb := A1Filtering(quick)
 	checkShape(t, tb)
@@ -178,11 +206,17 @@ func TestA2LevelPenaltyQuick(t *testing.T) {
 }
 
 func TestA3HopSetChoiceQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow test: skipped with -short")
+	}
 	tb := A3HopSetChoice(quick)
 	checkShape(t, tb)
 }
 
 func TestA4SpannerPreQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow test: skipped with -short")
+	}
 	tb := A4SpannerPre(quick)
 	checkShape(t, tb)
 	direct := parse(t, tb.Rows[0][2])

@@ -1,6 +1,7 @@
 package frt
 
 import (
+	"fmt"
 	"testing"
 
 	"parmbf/internal/graph"
@@ -58,6 +59,53 @@ func BenchmarkBuildTree(b *testing.B) {
 		if _, err := BuildTree(lists, order, 1.5); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchGraph is the fixed workload of the ensemble benchmarks: big enough
+// that pipeline construction dominates, small enough for CI (one oracle
+// pipeline run costs ~0.4s at this size and grows superlinearly).
+func benchGraph() *graph.Graph {
+	return graph.RandomConnected(64, 256, 8, par.NewRNG(99))
+}
+
+// BenchmarkEnsembleNaive is the pre-Embedder path: every tree re-runs the
+// whole hop-set → H → oracle pipeline, sequentially.
+func BenchmarkEnsembleNaive(b *testing.B) {
+	g := benchGraph()
+	for _, trees := range []int{1, 4, 8, 16} {
+		b.Run(fmt.Sprintf("trees=%d", trees), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rng := par.NewRNG(42)
+				_, err := SampleEnsemble(trees, func() (*Embedding, error) {
+					return Sample(g, Options{RNG: rng})
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEnsembleShared draws the same ensembles through the Embedder:
+// one pipeline, trees sampled concurrently.
+func BenchmarkEnsembleShared(b *testing.B) {
+	g := benchGraph()
+	for _, trees := range []int{1, 4, 8, 16} {
+		b.Run(fmt.Sprintf("trees=%d", trees), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				e, err := NewEmbedder(g, Options{RNG: par.NewRNG(42)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := e.SampleEnsemble(trees); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -2,6 +2,7 @@ package frt
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"parmbf/internal/graph"
@@ -22,7 +23,10 @@ type Ensemble struct {
 	Trees []*Tree
 }
 
-// SampleEnsemble draws `count` independent embeddings via sampler.
+// SampleEnsemble draws `count` independent embeddings via sampler, one at a
+// time. Every call of sampler pays the full pipeline cost; prefer
+// (*Embedder).SampleEnsemble, which shares the hop set, H, and oracle across
+// trees and samples them concurrently.
 func SampleEnsemble(count int, sampler func() (*Embedding, error)) (*Ensemble, error) {
 	if count < 1 {
 		return nil, fmt.Errorf("frt: ensemble needs ≥ 1 tree")
@@ -78,28 +82,30 @@ type EnsembleStats struct {
 }
 
 // Evaluate measures the ensemble's Min estimator against exact distances on
-// `pairs` random pairs.
+// `pairs` random pairs. The pairs are drawn sequentially from rng (so a
+// fixed seed selects a fixed pair set); the exact distances (one Dijkstra
+// per distinct source, reused across that source's pairs) and the per-pair
+// tree-distance minima are then computed in parallel.
 func (e *Ensemble) Evaluate(g *graph.Graph, pairs int, rng *par.RNG) EnsembleStats {
-	n := g.N()
-	stats := EnsembleStats{DominanceOK: true}
-	for i := 0; i < pairs; i++ {
-		u := graph.Node(rng.Intn(n))
-		v := graph.Node(rng.Intn(n))
-		if u == v {
-			continue
-		}
-		exact := graph.Dijkstra(g, u).Dist[v]
-		est := e.Min(u, v)
-		ratio := est / exact
-		if ratio < 1-1e-9 {
-			stats.DominanceOK = false
-		}
-		stats.AvgMinStretch += ratio
-		if ratio > stats.MaxMinStretch {
-			stats.MaxMinStretch = ratio
-		}
-		stats.Pairs++
-	}
+	ps := drawEvalPairs(g, pairs, rng, false)
+	stats := par.Reduce(len(ps), EnsembleStats{DominanceOK: true},
+		func(i int) EnsembleStats {
+			ratio := e.Min(ps[i].u, ps[i].v) / ps[i].d
+			return EnsembleStats{
+				Pairs:         1,
+				AvgMinStretch: ratio,
+				MaxMinStretch: ratio,
+				DominanceOK:   ratio >= 1-1e-9,
+			}
+		},
+		func(a, b EnsembleStats) EnsembleStats {
+			return EnsembleStats{
+				Pairs:         a.Pairs + b.Pairs,
+				AvgMinStretch: a.AvgMinStretch + b.AvgMinStretch,
+				MaxMinStretch: math.Max(a.MaxMinStretch, b.MaxMinStretch),
+				DominanceOK:   a.DominanceOK && b.DominanceOK,
+			}
+		})
 	if stats.Pairs > 0 {
 		stats.AvgMinStretch /= float64(stats.Pairs)
 	}

@@ -263,6 +263,9 @@ func TestSampleOraclePipeline(t *testing.T) {
 }
 
 func TestSamplePolylogIterationsOnPath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow test: skipped with -short")
+	}
 	// On a path (SPD = n−1) the oracle must reach its fixpoint in
 	// polylogarithmically many iterations — the whole point of H.
 	rng := par.NewRNG(10)
@@ -345,6 +348,9 @@ func TestExpectedStretchLogarithmic(t *testing.T) {
 }
 
 func TestOraclePipelineStretchClose(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow test: skipped with -short")
+	}
 	// The oracle pipeline embeds H, which (1+o(1))-approximates G; its
 	// stretch envelope should match the direct pipeline's up to that slack.
 	rng := par.NewRNG(14)

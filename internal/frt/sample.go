@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"parmbf/internal/graph"
-	"parmbf/internal/hopset"
 	"parmbf/internal/par"
 	"parmbf/internal/semiring"
 	"parmbf/internal/simgraph"
@@ -66,50 +65,15 @@ type Embedding struct {
 // O(α^{O(log n)} · log n) where α = 1+ε̂ accounts for H's distance slack —
 // O(log n) for the default parameters (Corollary 7.10 with the hop-set
 // substitution recorded in DESIGN.md).
+//
+// Sample rebuilds the pipeline on every call; to draw several trees of the
+// same graph, use NewEmbedder and amortise the hop-set and H construction.
 func Sample(g *graph.Graph, opts Options) (*Embedding, error) {
-	if opts.RNG == nil {
-		return nil, fmt.Errorf("frt: Options.RNG is required")
-	}
-	n := g.N()
-	if n == 0 {
-		return nil, fmt.Errorf("frt: empty graph")
-	}
-
-	var hs *hopset.Result
-	switch opts.HopSet {
-	case HopSetSkeleton:
-		hs = hopset.DefaultSkeleton(g, opts.RNG, opts.Tracker)
-	case HopSetLandmark:
-		count := opts.LandmarkCount
-		if count <= 0 {
-			count = 2 * ceilLog2(n)
-		}
-		hs = hopset.Landmark(g, count, opts.RNG, opts.Tracker)
-	case HopSetNone:
-		hs = hopset.None(g)
-	default:
-		return nil, fmt.Errorf("frt: unknown hop set kind %d", opts.HopSet)
-	}
-
-	h := simgraph.Build(hs, opts.EpsHat, opts.RNG)
-	order := NewOrder(n, opts.RNG)
-	beta := RandomBeta(opts.RNG)
-
-	oracle := simgraph.NewOracle(h, opts.Tracker)
-	lists, iters := oracle.RunToFixpoint(InitialStates(n), order.Filter(), simgraph.MaxIters(n))
-
-	tree, err := BuildTree(lists, order, beta)
+	e, err := NewEmbedder(g, opts)
 	if err != nil {
 		return nil, err
 	}
-	return &Embedding{
-		Tree:       tree,
-		Order:      order,
-		Beta:       beta,
-		LELists:    lists,
-		H:          h,
-		Iterations: iters,
-	}, nil
+	return e.Sample()
 }
 
 // SampleOnGraph draws one FRT tree by computing LE lists directly on g — the

@@ -30,6 +30,44 @@ type StretchStats struct {
 	MinRatio float64
 }
 
+// evalPair is a sampled node pair annotated with its exact distance in g.
+type evalPair struct {
+	u, v graph.Node
+	d    float64
+}
+
+// drawEvalPairs samples node pairs of g from rng — retrying equal endpoints
+// until `count` pairs exist when retry is set, making `count` draws and
+// dropping equal endpoints otherwise — and fills in exact distances with one
+// Dijkstra per distinct source, sources fanned out in parallel.
+func drawEvalPairs(g *graph.Graph, count int, rng *par.RNG, retry bool) []evalPair {
+	n := g.N()
+	ps := make([]evalPair, 0, count)
+	for drawn := 0; retry && len(ps) < count || !retry && drawn < count; drawn++ {
+		u := graph.Node(rng.Intn(n))
+		v := graph.Node(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		ps = append(ps, evalPair{u: u, v: v})
+	}
+	bySource := map[graph.Node][]int{}
+	var sources []graph.Node
+	for i, p := range ps {
+		if _, ok := bySource[p.u]; !ok {
+			sources = append(sources, p.u)
+		}
+		bySource[p.u] = append(bySource[p.u], i)
+	}
+	par.ForEach(len(sources), func(si int) {
+		res := graph.Dijkstra(g, sources[si])
+		for _, i := range bySource[sources[si]] {
+			ps[i].d = res.Dist[ps[i].v]
+		}
+	})
+	return ps
+}
+
 // MeasureStretch samples `trees` embeddings from sampler and evaluates them
 // on `pairs` random node pairs of g against exact distances.
 func MeasureStretch(g *graph.Graph, sampler func() (*Embedding, error), trees, pairs int, rng *par.RNG) (StretchStats, error) {
@@ -37,30 +75,7 @@ func MeasureStretch(g *graph.Graph, sampler func() (*Embedding, error), trees, p
 	if n < 2 {
 		return StretchStats{}, fmt.Errorf("frt: need ≥ 2 nodes")
 	}
-	type pair struct {
-		u, v graph.Node
-		d    float64
-	}
-	ps := make([]pair, 0, pairs)
-	for len(ps) < pairs {
-		u := graph.Node(rng.Intn(n))
-		v := graph.Node(rng.Intn(n))
-		if u == v {
-			continue
-		}
-		ps = append(ps, pair{u: u, v: v})
-	}
-	// Exact distances, one Dijkstra per distinct source.
-	bySource := map[graph.Node][]int{}
-	for i, p := range ps {
-		bySource[p.u] = append(bySource[p.u], i)
-	}
-	for src, idxs := range bySource {
-		res := graph.Dijkstra(g, src)
-		for _, i := range idxs {
-			ps[i].d = res.Dist[ps[i].v]
-		}
-	}
+	ps := drawEvalPairs(g, pairs, rng, true)
 
 	sum := make([]float64, len(ps))
 	stats := StretchStats{Pairs: len(ps), Trees: trees, MinRatio: math.Inf(1)}

@@ -136,6 +136,42 @@ func TestQuickTreeRoundTripAndDominance(t *testing.T) {
 	}
 }
 
+// TestQuickTreeDeepEqualRoundTrip is the exact-round-trip property: for
+// randomly sampled trees (drawn through the shared-pipeline Embedder),
+// write → read reproduces the Tree struct field-for-field.
+func TestQuickTreeDeepEqualRoundTrip(t *testing.T) {
+	f := func(s quickTreeSeed) bool {
+		rng := par.NewRNG(s.Seed)
+		n := 8 + int(s.Seed%12)
+		g := graph.RandomConnected(n, 3*n, 6, rng)
+		e, err := NewEmbedder(g, Options{RNG: rng})
+		if err != nil {
+			return false
+		}
+		ens, err := e.SampleEnsemble(2)
+		if err != nil {
+			return false
+		}
+		for _, tree := range ens.Trees {
+			var buf bytes.Buffer
+			if WriteTree(&buf, tree) != nil {
+				return false
+			}
+			got, err := ReadTree(&buf)
+			if err != nil {
+				return false
+			}
+			if !reflect.DeepEqual(got, tree) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestQuickLEFilterProjection(t *testing.T) {
 	mod := semiring.DistMapModule{}
 	f := func(seed uint64, raw []uint8) bool {

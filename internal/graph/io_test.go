@@ -2,8 +2,11 @@ package graph
 
 import (
 	"bytes"
+	"math/rand"
+	"reflect"
 	"strings"
 	"testing"
+	"testing/quick"
 
 	"parmbf/internal/par"
 )
@@ -28,6 +31,53 @@ func TestWriteReadRoundTrip(t *testing.T) {
 		if want[i] != have[i] {
 			t.Fatalf("edge %d: %v vs %v", i, have[i], want[i])
 		}
+	}
+}
+
+// ioSeed drives the round-trip property test with random seeds and a random
+// generator choice.
+type ioSeed struct {
+	Seed uint64
+	Kind uint8
+}
+
+// Generate implements quick.Generator.
+func (ioSeed) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(ioSeed{Seed: r.Uint64(), Kind: uint8(r.Intn(4))})
+}
+
+// TestQuickWriteReadRoundTrip is the property test of the edge-list format:
+// for randomly generated graphs of every generator family, write → read
+// reproduces the graph exactly (sizes, edge order, and weights — the %g
+// encoding round-trips float64 exactly).
+func TestQuickWriteReadRoundTrip(t *testing.T) {
+	f := func(s ioSeed) bool {
+		rng := par.NewRNG(s.Seed)
+		n := 10 + int(s.Seed%20)
+		var g *Graph
+		switch s.Kind {
+		case 0:
+			g = RandomConnected(n, 3*n, 9, rng)
+		case 1:
+			g = GridGraph(3+int(s.Seed%4), 3+int(s.Seed%5), 7, rng)
+		case 2:
+			g = BarabasiAlbert(n, 3, 5, rng)
+		default:
+			g = RandomGeometric(n, 0.4, rng)
+		}
+		var buf bytes.Buffer
+		if Write(&buf, g) != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		return got.N() == g.N() && got.M() == g.M() &&
+			reflect.DeepEqual(got.Edges(), g.Edges())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
 	}
 }
 

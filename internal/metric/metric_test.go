@@ -41,6 +41,9 @@ func TestApproximateIsAMetric(t *testing.T) {
 }
 
 func TestApproximatePolylogIterations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow test: skipped with -short")
+	}
 	rng := par.NewRNG(3)
 	g := graph.PathGraph(150, 1) // SPD(G) = 149
 	res := Approximate(g, rng, nil)
@@ -50,6 +53,9 @@ func TestApproximatePolylogIterations(t *testing.T) {
 }
 
 func TestApproximateSparseWithinGuarantee(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow test: skipped with -short")
+	}
 	rng := par.NewRNG(4)
 	g := graph.RandomConnected(60, 400, 6, rng)
 	const k = 2

@@ -187,7 +187,13 @@ func (o *Oracle) Iterate(x []semiring.DistMap, filter semiring.Filter[semiring.D
 			Tracker: o.Tracker,
 		}
 		y := o.project(x, lambda)
-		y = runner.Run(y, h.Hop.D)
+		// (r^V A_λ)^d y, computed with early fixpoint detection: the filtered
+		// min-plus iteration is monotone, so once the states stop changing the
+		// remaining iterations up to d are identities and can be skipped. The
+		// result is exactly the d-iteration product, at a fraction of the work
+		// when the level stabilises early (the common case — d is the
+		// worst-case hop bound of the hop set).
+		y, _ = runner.RunToFixpoint(y, h.Hop.D)
 		perLevel[lambda] = o.project(y, lambda)
 	}
 	out := make([]semiring.DistMap, n)

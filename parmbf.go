@@ -18,7 +18,9 @@
 //   - the algebraic MBF-like framework (internal/semiring, internal/mbf),
 //   - hop sets, the simulated graph H and its oracle (internal/hopset,
 //     internal/simgraph),
-//   - FRT sampling and baselines (internal/frt),
+//   - FRT sampling and baselines (internal/frt), including the Embedder,
+//     which builds the hop set, H, and the oracle once per graph and then
+//     draws ensembles of trees concurrently and deterministically,
 //   - approximate metrics (internal/metric), spanners (internal/spanner),
 //   - the Congest-model algorithms (internal/congest), and
 //   - the k-median and buy-at-bulk applications (internal/apps/…).
@@ -172,13 +174,31 @@ func MeasureStretch(g *Graph, sampler func() (*Embedding, error), trees, pairs i
 // never under-estimates).
 type Ensemble = frt.Ensemble
 
+// EnsembleStats summarises an ensemble's Min estimator against exact
+// distances (see frt.EnsembleStats for field semantics).
+type EnsembleStats = frt.EnsembleStats
+
+// Embedder runs the tree-independent pipeline stages (hop set, simulated
+// graph H, oracle) once per graph and then draws any number of FRT trees
+// against them — the efficient way to sample ensembles. Trees within one
+// SampleEnsemble call are drawn concurrently, and a fixed seed yields the
+// identical ensemble for every parallelism setting.
+type Embedder = frt.Embedder
+
+// NewEmbedder builds the shared sampling pipeline for g.
+func NewEmbedder(g *Graph, seed uint64) (*Embedder, error) {
+	return frt.NewEmbedder(g, frt.Options{RNG: par.NewRNG(seed)})
+}
+
 // SampleEnsemble draws `count` independent trees from the FRT distribution
-// of g via the oracle pipeline.
+// of g via the oracle pipeline, sharing the hop-set and H construction
+// across trees and sampling them concurrently.
 func SampleEnsemble(g *Graph, count int, seed uint64) (*Ensemble, error) {
-	rng := par.NewRNG(seed)
-	return frt.SampleEnsemble(count, func() (*Embedding, error) {
-		return frt.Sample(g, frt.Options{RNG: rng})
-	})
+	e, err := NewEmbedder(g, seed)
+	if err != nil {
+		return nil, err
+	}
+	return e.SampleEnsemble(count)
 }
 
 // CongestResult is the outcome of a simulated distributed (Congest-model)

@@ -136,3 +136,41 @@ func TestFacadeMeasureStretch(t *testing.T) {
 		t.Fatalf("avg stretch %v", stats.AvgStretch)
 	}
 }
+
+func TestFacadeEmbedderEnsemble(t *testing.T) {
+	g := RandomConnected(40, 100, 5, NewRNG(9))
+	e, err := NewEmbedder(g, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ens, err := e.SampleEnsemble(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ens.Trees) != 4 {
+		t.Fatalf("got %d trees", len(ens.Trees))
+	}
+	stats := ens.Evaluate(g, 30, NewRNG(5))
+	if !stats.DominanceOK {
+		t.Fatal("ensemble under-estimated a distance")
+	}
+	if stats.AvgMinStretch < 1-1e-9 {
+		t.Fatalf("avg min stretch %v below 1", stats.AvgMinStretch)
+	}
+
+	// The one-shot helper must agree with the explicit Embedder for the
+	// same seed.
+	ens2, err := SampleEnsemble(g, 4, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ens.Trees {
+		for v := 0; v < g.N(); v += 3 {
+			for w := v + 1; w < g.N(); w += 5 {
+				if ens.Trees[i].Dist(Node(v), Node(w)) != ens2.Trees[i].Dist(Node(v), Node(w)) {
+					t.Fatal("SampleEnsemble disagrees with Embedder for the same seed")
+				}
+			}
+		}
+	}
+}
