@@ -1,12 +1,15 @@
 GO ?= go
 
-.PHONY: build vet test test-short test-race bench bench-ensemble ci
+.PHONY: build vet fmt-check test test-short test-race bench bench-ensemble bench-graph ci
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+fmt-check:
+	@test -z "$$(gofmt -l .)" || { echo "gofmt needed on:"; gofmt -l .; exit 1; }
 
 ## Full test tier: every test at full size (~30s on one core).
 test:
@@ -18,13 +21,24 @@ test-short:
 
 ## Race tier: the packages with internal parallelism, under the race detector.
 test-race:
-	$(GO) test -short -race . ./internal/frt/... ./internal/par/... ./internal/simgraph/...
+	$(GO) test -short -race . ./internal/frt/... ./internal/graph/... ./internal/mbf/... ./internal/par/... ./internal/simgraph/...
 
 ## Ensemble hot-path benchmarks: shared pipeline vs naive per-tree sampling.
 bench-ensemble:
 	$(GO) test ./internal/frt/ -run xxx -bench 'Ensemble(Naive|Shared)' -benchmem
 
+## Graph-core benchmarks (CSR build, Dijkstra, Edges, heap vs seed heap);
+## each run appends one JSON line to BENCH_graph.json.
+bench-graph:
+	@out="$$($(GO) test ./internal/graph/ -run xxx -bench 'Construct|Build4096|Dijkstra4096|Edges4096|Freeze4096|Heap|BenchmarkDijkstra$$|MultiSource' -benchmem)" \
+		|| { echo "$$out"; echo "bench-graph: go test failed"; exit 1; }; \
+	echo "$$out"; \
+	echo "$$out" | grep '^Benchmark' | jq -R . | jq -sc \
+		--arg date "$$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+		--arg commit "$$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+		'{date: $$date, commit: $$commit, bench: .}' >> BENCH_graph.json
+
 bench:
 	$(GO) test -bench . -benchmem ./...
 
-ci: vet test-short test-race
+ci: vet fmt-check test-short test-race

@@ -16,7 +16,7 @@ func main() {
 	// A small "trust network": nodes are people, edge weights in (0, 1]
 	// are mutual trust levels; the same graph doubles as a distance
 	// network when weights are read as costs.
-	g := parmbf.NewGraph(8)
+	b := parmbf.NewGraphBuilder(8)
 	type e struct {
 		u, v parmbf.Node
 		w    float64
@@ -25,8 +25,9 @@ func main() {
 		{0, 1, 0.9}, {1, 2, 0.8}, {2, 3, 0.95}, {3, 4, 0.7},
 		{0, 5, 0.4}, {5, 4, 0.9}, {1, 6, 0.6}, {6, 7, 0.85}, {4, 7, 0.5},
 	} {
-		g.AddEdge(x.u, x.v, x.w)
+		b.Add(x.u, x.v, x.w)
 	}
+	g := b.Freeze()
 
 	// 1. Min-plus semiring: classic shortest-path distances (§3.1).
 	fmt.Println("min-plus — cheapest-cost routes from node 0:")

@@ -16,13 +16,14 @@ func main() {
 	// Workload 1: a long corridor with a wireless backbone — hop diameter 2
 	// (everyone hears the base station) but shortest paths crawl along the
 	// corridor, so SPD ≈ n.
-	corridor := parmbf.NewGraph(401)
+	corridorB := parmbf.NewGraphBuilder(401)
 	for v := 0; v+1 < 400; v++ {
-		corridor.AddEdge(parmbf.Node(v), parmbf.Node(v+1), 1)
+		corridorB.Add(parmbf.Node(v), parmbf.Node(v+1), 1)
 	}
 	for v := 0; v < 400; v++ {
-		corridor.AddEdge(400, parmbf.Node(v), 800) // base station: never on a shortest path
+		corridorB.Add(400, parmbf.Node(v), 800) // base station: never on a shortest path
 	}
+	corridor := corridorB.Freeze()
 
 	// Workload 2: a dense random network with tiny SPD.
 	dense := parmbf.RandomConnected(400, 6000, 4, parmbf.NewRNG(1))

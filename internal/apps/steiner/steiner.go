@@ -103,17 +103,17 @@ func prune(g *graph.Graph, sub *graph.Graph, terminals []graph.Node) *Result {
 		adj[v] = map[graph.Node]float64{}
 		deg[v] = 0
 	}
-	out := graph.New(g.N())
+	out := graph.NewBuilder(g.N())
 	weight := 0.0
 	for v := 0; v < g.N(); v++ {
 		for w, wt := range adj[v] {
 			if graph.Node(v) < w {
-				out.AddEdge(graph.Node(v), w, wt)
+				out.Add(graph.Node(v), w, wt)
 				weight += wt
 			}
 		}
 	}
-	return &Result{Tree: out, Weight: weight}
+	return &Result{Tree: out.Freeze(), Weight: weight}
 }
 
 // ViaEmbedding solves Steiner tree through a sampled FRT embedding.
@@ -144,7 +144,7 @@ func ViaEmbedding(g *graph.Graph, terminals []graph.Node, rng *par.RNG, useOracl
 	}
 	// Map each used tree edge back to a shortest path in G; collect the
 	// union subgraph.
-	sub := graph.New(g.N())
+	sub := graph.NewBuilder(g.N())
 	sssp := map[graph.Node]*graph.SSSPResult{}
 	for child := int32(0); child < int32(tree.NumNodes()); child++ {
 		if tree.Parent[child] == -1 {
@@ -168,10 +168,10 @@ func ViaEmbedding(g *graph.Graph, terminals []graph.Node, rng *par.RNG, useOracl
 		}
 		for i := 1; i < len(path); i++ {
 			w, _ := g.HasEdge(path[i-1], path[i])
-			sub.AddEdge(path[i-1], path[i], w)
+			sub.Add(path[i-1], path[i], w)
 		}
 	}
-	result := prune(g, sub, terminals)
+	result := prune(g, sub.Freeze(), terminals)
 	if err := Validate(g, terminals, result); err != nil {
 		return nil, err
 	}
@@ -202,7 +202,7 @@ func MetricClosureMST(g *graph.Graph, terminals []graph.Node) (*Result, error) {
 	}
 	sort.Slice(edges, func(a, b int) bool { return edges[a].w < edges[b].w })
 	uf := graph.NewUnionFind(k)
-	sub := graph.New(g.N())
+	sub := graph.NewBuilder(g.N())
 	for _, e := range edges {
 		if !uf.Union(int32(e.i), int32(e.j)) {
 			continue
@@ -210,10 +210,10 @@ func MetricClosureMST(g *graph.Graph, terminals []graph.Node) (*Result, error) {
 		path := sssp[e.i].PathTo(terminals[e.j])
 		for i := 1; i < len(path); i++ {
 			w, _ := g.HasEdge(path[i-1], path[i])
-			sub.AddEdge(path[i-1], path[i], w)
+			sub.Add(path[i-1], path[i], w)
 		}
 	}
-	result := prune(g, sub, terminals)
+	result := prune(g, sub.Freeze(), terminals)
 	if err := Validate(g, terminals, result); err != nil {
 		return nil, err
 	}

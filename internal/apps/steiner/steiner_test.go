@@ -8,11 +8,7 @@ import (
 )
 
 func TestMSTBasics(t *testing.T) {
-	g := graph.New(4)
-	g.AddEdge(0, 1, 1)
-	g.AddEdge(1, 2, 2)
-	g.AddEdge(2, 3, 3)
-	g.AddEdge(0, 3, 10)
+	g := graph.NewBuilder(4).Add(0, 1, 1).Add(1, 2, 2).Add(2, 3, 3).Add(0, 3, 10).Freeze()
 	mst, w := graph.MST(g)
 	if w != 6 {
 		t.Fatalf("MST weight %v, want 6", w)
@@ -56,10 +52,11 @@ func TestMetricClosureOnPath(t *testing.T) {
 func TestMetricClosureWithin2OPTOnStar(t *testing.T) {
 	// A star with terminals on the leaves: OPT uses the hub; the closure
 	// MST pays at most twice.
-	g := graph.New(5)
+	b := graph.NewBuilder(5)
 	for v := 1; v < 5; v++ {
-		g.AddEdge(0, graph.Node(v), 1)
+		b.Add(0, graph.Node(v), 1)
 	}
+	g := b.Freeze()
 	terms := []graph.Node{1, 2, 3, 4}
 	r, err := MetricClosureMST(g, terms)
 	if err != nil {
@@ -130,10 +127,9 @@ func TestViaEmbeddingApproximationRatio(t *testing.T) {
 func TestPruneRemovesUselessBranches(t *testing.T) {
 	// Feed prune a subgraph with a dangling non-terminal branch.
 	g := graph.PathGraph(6, 1)
-	sub := graph.New(6)
-	sub.AddEdge(0, 1, 1)
-	sub.AddEdge(1, 2, 1)
-	sub.AddEdge(2, 3, 1) // dangling branch beyond terminal 2
+	sub := graph.NewBuilder(6).Add(0, 1, 1).Add(1, 2, 1).
+		Add(2, 3, 1). // dangling branch beyond terminal 2
+		Freeze()
 	r := prune(g, sub, []graph.Node{0, 2})
 	if r.Weight != 2 {
 		t.Fatalf("pruned weight %v, want 2", r.Weight)

@@ -169,7 +169,7 @@ func Skeleton(g *graph.Graph, rng *par.RNG, opts SkeletonOptions) *Result {
 
 	// ℓ-hop-limited skeleton distances ((S, ℓ, |S|)-detection in the real
 	// algorithm, [31]); pipelined round cost ℓ + |S|.
-	skel := graph.New(n)
+	skelB := graph.NewBuilder(n)
 	hop := make([][]float64, len(skeleton))
 	par.ForEach(len(skeleton), func(i int) {
 		hop[i] = graph.BellmanFord(g, skeleton[i], ell)
@@ -178,10 +178,11 @@ func Skeleton(g *graph.Graph, rng *par.RNG, opts SkeletonOptions) *Result {
 		for j := i + 1; j < len(skeleton); j++ {
 			t := skeleton[j]
 			if d := hop[i][t]; !semiring.IsInf(d) && d > 0 {
-				skel.AddEdge(s, t, d)
+				skelB.Add(s, t, d)
 			}
 		}
 	}
+	skel := skelB.Freeze()
 	rounds += ell + len(skeleton)
 
 	// Sparsify the skeleton graph and broadcast the spanner: every node
@@ -215,14 +216,14 @@ func Skeleton(g *graph.Graph, rng *par.RNG, opts SkeletonOptions) *Result {
 // edges stretched by α. It is used by tests to validate the distributed
 // computation against a direct one.
 func ExplicitOverlay(g, spanner *graph.Graph, alpha float64) *graph.Graph {
-	h := graph.New(g.N())
+	h := graph.NewBuilder(g.N())
 	for _, e := range spanner.Edges() {
-		h.AddEdge(e.U, e.V, e.Weight)
+		h.Add(e.U, e.V, e.Weight)
 	}
 	for _, e := range g.Edges() {
-		h.AddEdge(e.U, e.V, alpha*e.Weight) // AddEdge keeps the lighter copy
+		h.Add(e.U, e.V, alpha*e.Weight) // Freeze keeps the lighter copy
 	}
-	return h
+	return h.Freeze()
 }
 
 // NewSkeletonFirstOrder draws a random order in which every skeleton node

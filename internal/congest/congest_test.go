@@ -51,15 +51,15 @@ func TestKhanRoundsScaleWithSPD(t *testing.T) {
 // so SPD stays n−1 — the regime where Khan's O(SPD·log n) rounds lose to
 // the skeleton algorithm's Õ(√n + D) (§8, experiment E9).
 func starPath(n int) *graph.Graph {
-	g := graph.New(n + 1)
+	b := graph.NewBuilder(n + 1)
 	for v := 0; v+1 < n; v++ {
-		g.AddEdge(graph.Node(v), graph.Node(v+1), 1)
+		b.Add(graph.Node(v), graph.Node(v+1), 1)
 	}
 	hub := graph.Node(n)
 	for v := 0; v < n; v++ {
-		g.AddEdge(hub, graph.Node(v), float64(2*n))
+		b.Add(hub, graph.Node(v), float64(2*n))
 	}
-	return g
+	return b.Freeze()
 }
 
 func TestSkeletonFirstOrder(t *testing.T) {

@@ -138,14 +138,14 @@ func E9Congest(cfg Config) *Table {
 // starPath is the high-SPD, hop-diameter-2 workload of E9 (see the congest
 // tests for the construction rationale).
 func starPath(n int) *graph.Graph {
-	g := graph.New(n + 1)
+	b := graph.NewBuilder(n + 1)
 	for v := 0; v+1 < n; v++ {
-		g.AddEdge(graph.Node(v), graph.Node(v+1), 1)
+		b.Add(graph.Node(v), graph.Node(v+1), 1)
 	}
 	for v := 0; v < n; v++ {
-		g.AddEdge(graph.Node(n), graph.Node(v), float64(2*n))
+		b.Add(graph.Node(n), graph.Node(v), float64(2*n))
 	}
-	return g
+	return b.Freeze()
 }
 
 // E10Zoo demonstrates the MBF-like algorithm collection (§3) and the

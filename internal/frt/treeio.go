@@ -137,12 +137,13 @@ func ReadTree(r io.Reader) (*Tree, error) {
 // the cross-check used by the tests and a convenient handoff to tree
 // solvers that expect a plain graph.
 func (t *Tree) ToGraph() (*graph.Graph, []graph.Node) {
-	g := graph.New(t.NumNodes())
+	b := graph.NewBuilder(t.NumNodes())
 	for u := 0; u < t.NumNodes(); u++ {
 		if p := t.Parent[u]; p != -1 {
-			g.AddEdge(graph.Node(u), graph.Node(p), t.EdgeWeight[u])
+			b.Add(graph.Node(u), graph.Node(p), t.EdgeWeight[u])
 		}
 	}
+	g := b.Freeze()
 	leaves := make([]graph.Node, len(t.Leaf))
 	for v, leaf := range t.Leaf {
 		leaves[v] = graph.Node(leaf)

@@ -39,7 +39,7 @@ func AdjacencyMatrix(g *Graph) *Matrix {
 	n := g.N()
 	m := NewMatrix(n)
 	for v := 0; v < n; v++ {
-		for _, a := range g.adj[v] {
+		for _, a := range g.Neighbors(Node(v)) {
 			m.Set(v, int(a.To), a.Weight)
 		}
 	}

@@ -3,6 +3,7 @@ package graph
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"parmbf/internal/par"
 )
@@ -11,6 +12,10 @@ import (
 // generators take an explicit RNG so every experiment is reproducible from a
 // seed, and all of them produce connected graphs with positive weights and a
 // polynomially bounded weight ratio (the standing assumptions of §1.2).
+// Generators accumulate edges in a Builder (O(1) per edge) and Freeze once;
+// generators that must not re-sample existing edges track the edge set in
+// an edgeSet (bitset or hash set), so dense construction stays O(n + m)
+// instead of the quadratic O(m·deg) of the old per-insert adjacency scan.
 
 // quantize rounds w to a multiple of 1/1024. Dyadic-rational weights make
 // every path-weight sum exact in float64 (no rounding error accumulates), so
@@ -24,15 +29,66 @@ func quantize(w float64) float64 {
 	return q
 }
 
+// edgeSet answers "have I already generated edge {u,v}?" in O(1) for the
+// generators whose RNG retry loops must skip existing edges. For moderate n
+// it is a dense triangular bitset (one cache line touch per query); beyond
+// that it falls back to a hash set keyed by the canonical pair.
+type edgeSet struct {
+	n    int
+	bits []uint64
+	m    map[uint64]bool
+}
+
+func newEdgeSet(n, sizeHint int) *edgeSet {
+	// Use the dense bitset only while its footprint is small in absolute
+	// terms or proportionate to the expected edge count (≤ 64 bytes per
+	// edge); for sparse edge sets on large node counts the hash set wins.
+	words := (n*(n-1)/2 + 63) / 64
+	if bytes := 8 * words; bytes <= 1<<16 || bytes <= 64*sizeHint {
+		return &edgeSet{n: n, bits: make([]uint64, words)}
+	}
+	return &edgeSet{n: n, m: make(map[uint64]bool, sizeHint)}
+}
+
+// key maps the unordered pair {u, v} to its index in the strict upper
+// triangle (row-major), or to a canonical hash key in map mode.
+func (s *edgeSet) key(u, v Node) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	if s.bits != nil {
+		uu, nn := uint64(uint32(u)), uint64(s.n)
+		return uu*nn - uu*(uu+1)/2 + uint64(uint32(v)) - uu - 1
+	}
+	return uint64(uint32(u))<<32 | uint64(uint32(v))
+}
+
+func (s *edgeSet) has(u, v Node) bool {
+	k := s.key(u, v)
+	if s.bits != nil {
+		return s.bits[k>>6]&(1<<(k&63)) != 0
+	}
+	return s.m[k]
+}
+
+func (s *edgeSet) add(u, v Node) {
+	k := s.key(u, v)
+	if s.bits != nil {
+		s.bits[k>>6] |= 1 << (k & 63)
+		return
+	}
+	s.m[k] = true
+}
+
 // PathGraph returns the n-node path v0—v1—…—v_{n-1} with the given uniform
 // edge weight. Its SPD is n−1: the worst case for plain MBF iteration and
 // the motivating example for the simulated graph H of §4.
 func PathGraph(n int, weight float64) *Graph {
-	g := New(n)
+	b := NewBuilder(n)
 	for v := 0; v+1 < n; v++ {
-		g.AddEdge(Node(v), Node(v+1), weight)
+		b.Add(Node(v), Node(v+1), weight)
 	}
-	return g
+	return b.Freeze()
 }
 
 // CycleGraph returns the n-node cycle with unit weights, the paper's example
@@ -42,28 +98,31 @@ func CycleGraph(n int, weight float64) *Graph {
 	if n < 3 {
 		panic("graph: cycle needs n ≥ 3")
 	}
-	g := PathGraph(n, weight)
-	g.AddEdge(Node(n-1), 0, weight)
-	return g
+	b := NewBuilder(n)
+	for v := 0; v+1 < n; v++ {
+		b.Add(Node(v), Node(v+1), weight)
+	}
+	b.Add(Node(n-1), 0, weight)
+	return b.Freeze()
 }
 
 // GridGraph returns the rows×cols grid with weights drawn uniformly from
 // [1, maxWeight]. Grids have Θ(√n) SPD and model road-like networks.
 func GridGraph(rows, cols int, maxWeight float64, rng *par.RNG) *Graph {
-	g := New(rows * cols)
+	b := NewBuilder(rows * cols)
 	id := func(r, c int) Node { return Node(r*cols + c) }
 	w := func() float64 { return quantize(1 + rng.Float64()*(maxWeight-1)) }
 	for r := 0; r < rows; r++ {
 		for c := 0; c < cols; c++ {
 			if c+1 < cols {
-				g.AddEdge(id(r, c), id(r, c+1), w())
+				b.Add(id(r, c), id(r, c+1), w())
 			}
 			if r+1 < rows {
-				g.AddEdge(id(r, c), id(r+1, c), w())
+				b.Add(id(r, c), id(r+1, c), w())
 			}
 		}
 	}
-	return g
+	return b.Freeze()
 }
 
 // RandomConnected returns a connected graph with n nodes and m edges: a
@@ -76,27 +135,32 @@ func RandomConnected(n, m int, maxWeight float64, rng *par.RNG) *Graph {
 	if maxM := n * (n - 1) / 2; m > maxM {
 		panic(fmt.Sprintf("graph: m=%d exceeds simple bound %d", m, maxM))
 	}
-	g := New(n)
+	b := NewBuilder(n)
+	seen := newEdgeSet(n, m)
 	w := func() float64 { return quantize(1 + rng.Float64()*(maxWeight-1)) }
 	// Random spanning tree: attach each node (in random order) to a random
 	// earlier node, which yields a uniform-ish random recursive tree.
 	perm := rng.Perm(n)
 	for i := 1; i < n; i++ {
 		j := rng.Intn(i)
-		g.AddEdge(Node(perm[i]), Node(perm[j]), w())
+		u, v := Node(perm[i]), Node(perm[j])
+		seen.add(u, v)
+		b.Add(u, v, w())
 	}
-	for g.M() < m {
+	for count := n - 1; count < m; {
 		u := Node(rng.Intn(n))
 		v := Node(rng.Intn(n))
 		if u == v {
 			continue
 		}
-		if _, ok := g.HasEdge(u, v); ok {
+		if seen.has(u, v) {
 			continue
 		}
-		g.AddEdge(u, v, w())
+		seen.add(u, v)
+		b.Add(u, v, w())
+		count++
 	}
-	return g
+	return b.Freeze()
 }
 
 // Lollipop returns a lollipop graph: a clique on cliqueN nodes joined to a
@@ -106,16 +170,16 @@ func RandomConnected(n, m int, maxWeight float64, rng *par.RNG) *Graph {
 // slow.
 func Lollipop(cliqueN, pathN int) *Graph {
 	n := cliqueN + pathN
-	g := New(n)
+	b := NewBuilder(n)
 	for u := 0; u < cliqueN; u++ {
 		for v := u + 1; v < cliqueN; v++ {
-			g.AddEdge(Node(u), Node(v), 1)
+			b.Add(Node(u), Node(v), 1)
 		}
 	}
 	for v := cliqueN; v < n; v++ {
-		g.AddEdge(Node(v-1), Node(v), 1)
+		b.Add(Node(v-1), Node(v), 1)
 	}
-	return g
+	return b.Freeze()
 }
 
 // Clustered returns a graph of k well-separated clusters: each cluster is a
@@ -125,13 +189,16 @@ func Lollipop(cliqueN, pathN int) *Graph {
 // optimal centers are one per cluster.
 func Clustered(k, perCluster int, sep float64, rng *par.RNG) *Graph {
 	n := k * perCluster
-	g := New(n)
+	b := NewBuilder(n)
+	seen := newEdgeSet(n, n*2)
 	for c := 0; c < k; c++ {
 		base := c * perCluster
 		// Spanning tree plus a few chords inside the cluster.
 		for i := 1; i < perCluster; i++ {
 			j := rng.Intn(i)
-			g.AddEdge(Node(base+i), Node(base+j), quantize(1+rng.Float64()))
+			u, v := Node(base+i), Node(base+j)
+			seen.add(u, v)
+			b.Add(u, v, quantize(1+rng.Float64()))
 		}
 		extra := perCluster / 2
 		for e := 0; e < extra; e++ {
@@ -140,8 +207,9 @@ func Clustered(k, perCluster int, sep float64, rng *par.RNG) *Graph {
 			if u == v {
 				continue
 			}
-			if _, ok := g.HasEdge(u, v); !ok {
-				g.AddEdge(u, v, quantize(1+rng.Float64()))
+			if !seen.has(u, v) {
+				seen.add(u, v)
+				b.Add(u, v, quantize(1+rng.Float64()))
 			}
 		}
 	}
@@ -149,9 +217,9 @@ func Clustered(k, perCluster int, sep float64, rng *par.RNG) *Graph {
 	for c := 0; c+1 < k; c++ {
 		u := Node(c*perCluster + rng.Intn(perCluster))
 		v := Node((c+1)*perCluster + rng.Intn(perCluster))
-		g.AddEdge(u, v, sep)
+		b.Add(u, v, sep)
 	}
-	return g
+	return b.Freeze()
 }
 
 // CompleteFromMatrix builds the complete graph whose edge weights are the
@@ -161,13 +229,13 @@ func Clustered(k, perCluster int, sep float64, rng *par.RNG) *Graph {
 // Blelloch et al.
 func CompleteFromMatrix(m *Matrix) *Graph {
 	n := m.N
-	g := New(n)
+	b := NewBuilder(n)
 	for u := 0; u < n; u++ {
 		for v := u + 1; v < n; v++ {
-			g.AddEdge(Node(u), Node(v), m.At(u, v))
+			b.Add(Node(u), Node(v), m.At(u, v))
 		}
 	}
-	return g
+	return b.Freeze()
 }
 
 // RandomGeometric returns a connected random geometric graph: n points
@@ -185,23 +253,26 @@ func RandomGeometric(n int, radius float64, rng *par.RNG) *Graph {
 		dx, dy := xs[i]-xs[j], ys[i]-ys[j]
 		return quantize(math.Sqrt(dx*dx+dy*dy)*1000 + 1)
 	}
-	g := New(n)
+	b := NewBuilder(n)
+	// Track connectivity incrementally so the repair loop below does not
+	// have to re-scan a frozen graph after every added bridge.
+	uf := NewUnionFind(n)
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			dx, dy := xs[i]-xs[j], ys[i]-ys[j]
 			if math.Sqrt(dx*dx+dy*dy) <= radius {
-				g.AddEdge(Node(i), Node(j), dist(i, j))
+				b.Add(Node(i), Node(j), dist(i, j))
+				uf.Union(int32(i), int32(j))
 			}
 		}
 	}
 	// Guarantee connectivity: link each connected component to node 0's
 	// component through the geometrically nearest pair.
 	for {
-		comp := components(g)
-		// Find a node in a different component than node 0 and connect it.
+		root := uf.Find(0)
 		target := -1
 		for v := 1; v < n; v++ {
-			if comp[v] != comp[0] {
+			if uf.Find(int32(v)) != root {
 				target = v
 				break
 			}
@@ -211,44 +282,16 @@ func RandomGeometric(n int, radius float64, rng *par.RNG) *Graph {
 		}
 		best, bu := math.Inf(1), -1
 		for v := 0; v < n; v++ {
-			if comp[v] == comp[0] {
+			if uf.Find(int32(v)) == root {
 				if d := dist(v, target); d < best {
 					best, bu = d, v
 				}
 			}
 		}
-		g.AddEdge(Node(bu), Node(target), best)
+		b.Add(Node(bu), Node(target), best)
+		uf.Union(int32(bu), int32(target))
 	}
-	return g
-}
-
-// components labels nodes with component IDs.
-func components(g *Graph) []int {
-	n := g.N()
-	comp := make([]int, n)
-	for i := range comp {
-		comp[i] = -1
-	}
-	next := 0
-	for s := 0; s < n; s++ {
-		if comp[s] != -1 {
-			continue
-		}
-		stack := []Node{Node(s)}
-		comp[s] = next
-		for len(stack) > 0 {
-			v := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			for _, a := range g.Neighbors(v) {
-				if comp[a.To] == -1 {
-					comp[a.To] = next
-					stack = append(stack, a.To)
-				}
-			}
-		}
-		next++
-	}
-	return comp
+	return b.Freeze()
 }
 
 // BarabasiAlbert returns a preferential-attachment graph: starting from a
@@ -264,19 +307,17 @@ func BarabasiAlbert(n, attach int, maxWeight float64, rng *par.RNG) *Graph {
 	if seed > n {
 		seed = n
 	}
-	g := New(n)
+	b := NewBuilder(n)
 	w := func() float64 { return quantize(1 + rng.Float64()*(maxWeight-1)) }
-	// Seed clique.
-	for u := 0; u < seed; u++ {
-		for v := u + 1; v < seed; v++ {
-			g.AddEdge(Node(u), Node(v), w())
-		}
-	}
 	// Repeated-endpoints trick: sampling uniformly from the endpoint list
 	// is proportional to degree.
 	var endpoints []Node
-	for _, e := range g.Edges() {
-		endpoints = append(endpoints, e.U, e.V)
+	// Seed clique.
+	for u := 0; u < seed; u++ {
+		for v := u + 1; v < seed; v++ {
+			b.Add(Node(u), Node(v), w())
+			endpoints = append(endpoints, Node(u), Node(v))
+		}
 	}
 	for v := seed; v < n; v++ {
 		chosen := map[Node]bool{}
@@ -286,10 +327,17 @@ func BarabasiAlbert(n, attach int, maxWeight float64, rng *par.RNG) *Graph {
 				chosen[t] = true
 			}
 		}
+		// Attach in sorted target order so the endpoint list — and with it
+		// every later degree-proportional draw — is deterministic.
+		targets := make([]Node, 0, len(chosen))
 		for t := range chosen {
-			g.AddEdge(Node(v), t, w())
+			targets = append(targets, t)
+		}
+		sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+		for _, t := range targets {
+			b.Add(Node(v), t, w())
 			endpoints = append(endpoints, Node(v), t)
 		}
 	}
-	return g
+	return b.Freeze()
 }

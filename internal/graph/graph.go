@@ -1,8 +1,29 @@
 // Package graph provides the weighted-graph substrate of the library:
-// adjacency structures, exact shortest-path algorithms (Dijkstra,
+// an immutable compressed-sparse-row (CSR) adjacency structure, exact
+// shortest-path algorithms (Dijkstra on a non-boxing 4-ary index heap,
 // Bellman-Ford, APSP by repeated squaring over the min-plus semiring),
 // shortest-path-diameter computation, and the graph generators used by the
 // experiment suite.
+//
+// # Builder/freeze lifecycle
+//
+// Graphs are built in two phases. A Builder collects edges (duplicates and
+// reversed insertions welcome) in O(1) amortised per edge; Freeze then
+// sorts, collapses parallel edges to the lightest copy, and lays the arcs
+// out in one flat array in O(n + m) total:
+//
+//	b := graph.NewBuilder(n)
+//	b.Add(u, v, w)        // any order, duplicates allowed
+//	g := b.Freeze()       // immutable from here on
+//
+// A frozen Graph stores one arc slice shared by all nodes: Neighbors(v)
+// returns the subslice arcs[rowStart[v]:rowStart[v+1]], sorted by target.
+// Nothing can mutate a frozen graph, so any number of goroutines — in
+// particular the K concurrent tree samplers of the FRT Embedder — can share
+// one Graph with zero synchronisation and zero copies, and every traversal
+// walks a contiguous, cache-friendly array instead of chasing per-node
+// slice headers. HasEdge and Weight are binary searches; Edges is a single
+// linear pass (the arcs are already sorted).
 //
 // Following §1.2 of Friedrichs & Lenzen, graphs are undirected, connected,
 // loop-free, with positive edge weights whose maximum/minimum ratio is
@@ -11,6 +32,7 @@ package graph
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"parmbf/internal/semiring"
@@ -19,7 +41,7 @@ import (
 // Node identifies a vertex; nodes are 0-based dense integers.
 type Node = semiring.NodeID
 
-// Arc is one directed half of an undirected edge in an adjacency list.
+// Arc is one directed half of an undirected edge in an adjacency row.
 type Arc struct {
 	To     Node
 	Weight float64
@@ -31,69 +53,53 @@ type Edge struct {
 	Weight float64
 }
 
-// Graph is an undirected weighted graph stored as adjacency lists. Build one
-// with New and AddEdge; all algorithms treat it as immutable afterwards.
+// Graph is an undirected weighted graph in compressed-sparse-row form. It
+// is immutable: build one with NewBuilder/Freeze (or New for an edgeless
+// graph) and share it freely across goroutines.
 type Graph struct {
-	adj [][]Arc
-	m   int
+	// rowStart has length n+1; the arcs leaving v occupy
+	// arcs[rowStart[v]:rowStart[v+1]], sorted by To.
+	rowStart []int32
+	// arcs is the flat arc array, length 2m.
+	arcs []Arc
+	m    int
 }
 
-// New returns an empty graph on n nodes.
+// New returns an immutable edgeless graph on n nodes. To build a graph with
+// edges, use NewBuilder.
 func New(n int) *Graph {
-	return &Graph{adj: make([][]Arc, n)}
+	return &Graph{rowStart: make([]int32, n+1)}
 }
 
 // N returns the number of nodes.
-func (g *Graph) N() int { return len(g.adj) }
+func (g *Graph) N() int { return len(g.rowStart) - 1 }
 
 // M returns the number of undirected edges.
 func (g *Graph) M() int { return g.m }
 
-// Neighbors returns the adjacency list of v. The caller must not modify it.
-func (g *Graph) Neighbors(v Node) []Arc { return g.adj[v] }
+// Neighbors returns the arcs leaving v as a subslice of the graph's flat
+// arc array, sorted by target. The caller must not modify it.
+func (g *Graph) Neighbors(v Node) []Arc { return g.arcs[g.rowStart[v]:g.rowStart[v+1]] }
 
 // Degree returns the degree of v.
-func (g *Graph) Degree(v Node) int { return len(g.adj[v]) }
+func (g *Graph) Degree(v Node) int { return int(g.rowStart[v+1] - g.rowStart[v]) }
 
-// AddEdge inserts the undirected edge {u, v} with weight w. It panics on
-// loops, non-positive weights, or out-of-range endpoints; if the edge already
-// exists its weight is lowered to w if w is smaller (parallel edges are
-// collapsed to the lightest, which is the only one shortest-path algorithms
-// can use).
-func (g *Graph) AddEdge(u, v Node, w float64) {
-	if u == v {
-		panic(fmt.Sprintf("graph: loop at node %d", u))
+// NeighborIndex returns the index i such that Neighbors(v)[i].To == w, or
+// -1 if {v,w} is not an edge, by binary search over the sorted row.
+func (g *Graph) NeighborIndex(v, w Node) int {
+	row := g.Neighbors(v)
+	i := sort.Search(len(row), func(i int) bool { return row[i].To >= w })
+	if i < len(row) && row[i].To == w {
+		return i
 	}
-	if w <= 0 || semiring.IsInf(w) {
-		panic(fmt.Sprintf("graph: invalid edge weight %v", w))
-	}
-	if int(u) < 0 || int(u) >= len(g.adj) || int(v) < 0 || int(v) >= len(g.adj) {
-		panic(fmt.Sprintf("graph: edge {%d,%d} out of range n=%d", u, v, len(g.adj)))
-	}
-	for i, a := range g.adj[u] {
-		if a.To == v {
-			if w < a.Weight {
-				g.adj[u][i].Weight = w
-				for j, b := range g.adj[v] {
-					if b.To == u {
-						g.adj[v][j].Weight = w
-					}
-				}
-			}
-			return
-		}
-	}
-	g.adj[u] = append(g.adj[u], Arc{To: v, Weight: w})
-	g.adj[v] = append(g.adj[v], Arc{To: u, Weight: w})
-	g.m++
+	return -1
 }
 
-// HasEdge reports whether {u, v} is an edge and returns its weight.
+// HasEdge reports whether {u, v} is an edge and returns its weight. It is a
+// binary search over u's sorted adjacency row.
 func (g *Graph) HasEdge(u, v Node) (float64, bool) {
-	for _, a := range g.adj[u] {
-		if a.To == v {
-			return a.Weight, true
-		}
+	if i := g.NeighborIndex(u, v); i >= 0 {
+		return g.Neighbors(u)[i].Weight, true
 	}
 	return semiring.Inf, false
 }
@@ -108,32 +114,41 @@ func (g *Graph) Weight(u, v Node) float64 {
 	return w
 }
 
-// Edges returns all undirected edges with U < V, sorted by (U, V).
+// Edges returns all undirected edges with U < V, sorted by (U, V). Since
+// the CSR rows are sorted by target, this is a single linear pass with one
+// allocation and no per-call sort.
 func (g *Graph) Edges() []Edge {
 	out := make([]Edge, 0, g.m)
-	for u := range g.adj {
-		for _, a := range g.adj[u] {
+	for u := 0; u < g.N(); u++ {
+		for _, a := range g.Neighbors(Node(u)) {
 			if Node(u) < a.To {
 				out = append(out, Edge{U: Node(u), V: a.To, Weight: a.Weight})
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].U != out[j].U {
-			return out[i].U < out[j].U
-		}
-		return out[i].V < out[j].V
-	})
 	return out
 }
 
-// Clone returns a deep copy of g.
+// Clone returns a deep copy of g: two flat copies. Since graphs are
+// immutable, sharing g itself is equally safe; Clone exists for callers
+// that want independent backing arrays.
 func (g *Graph) Clone() *Graph {
-	h := &Graph{adj: make([][]Arc, len(g.adj)), m: g.m}
-	for v, as := range g.adj {
-		h.adj[v] = append([]Arc(nil), as...)
+	h := &Graph{
+		rowStart: make([]int32, len(g.rowStart)),
+		arcs:     make([]Arc, len(g.arcs)),
+		m:        g.m,
 	}
+	copy(h.rowStart, g.rowStart)
+	copy(h.arcs, g.arcs)
 	return h
+}
+
+// Builder returns a new Builder pre-seeded with g's edges — the idiom for
+// "g plus extra edges" now that graphs are immutable (hop sets, overlays).
+func (g *Graph) Builder() *Builder {
+	b := NewBuilder(g.N())
+	b.edges = append(b.edges, g.Edges()...)
+	return b
 }
 
 // WeightRange returns the minimum and maximum edge weight. It panics on an
@@ -143,14 +158,12 @@ func (g *Graph) WeightRange() (min, max float64) {
 		panic("graph: WeightRange on edgeless graph")
 	}
 	min, max = semiring.Inf, 0
-	for _, as := range g.adj {
-		for _, a := range as {
-			if a.Weight < min {
-				min = a.Weight
-			}
-			if a.Weight > max {
-				max = a.Weight
-			}
+	for _, a := range g.arcs {
+		if a.Weight < min {
+			min = a.Weight
+		}
+		if a.Weight > max {
+			max = a.Weight
 		}
 	}
 	return min, max
@@ -170,7 +183,7 @@ func (g *Graph) Connected() bool {
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, a := range g.adj[v] {
+		for _, a := range g.Neighbors(v) {
 			if !seen[a.To] {
 				seen[a.To] = true
 				count++
@@ -179,4 +192,119 @@ func (g *Graph) Connected() bool {
 		}
 	}
 	return count == n
+}
+
+// Builder accumulates edges for a Graph. Add appends in O(1) amortised —
+// there is no per-insert duplicate scan — and Freeze produces the immutable
+// CSR graph in O(n + m). A Builder may keep accumulating after a Freeze;
+// each Freeze snapshots the edges added so far.
+type Builder struct {
+	n     int
+	edges []Edge
+}
+
+// NewBuilder returns a Builder for a graph on n nodes.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n}
+}
+
+// N returns the number of nodes of the graph under construction.
+func (b *Builder) N() int { return b.n }
+
+// Add records the undirected edge {u, v} with weight w and returns the
+// Builder for chaining. It panics on loops, non-positive weights, or
+// out-of-range endpoints. Parallel edges are allowed and collapsed to the
+// lightest copy by Freeze (the only one shortest-path algorithms can use).
+func (b *Builder) Add(u, v Node, w float64) *Builder {
+	if u == v {
+		panic(fmt.Sprintf("graph: loop at node %d", u))
+	}
+	if !(w > 0) || semiring.IsInf(w) { // !(w > 0) also rejects NaN
+		panic(fmt.Sprintf("graph: invalid edge weight %v", w))
+	}
+	if int(u) < 0 || int(u) >= b.n || int(v) < 0 || int(v) >= b.n {
+		panic(fmt.Sprintf("graph: edge {%d,%d} out of range n=%d", u, v, b.n))
+	}
+	b.edges = append(b.edges, Edge{U: u, V: v, Weight: w})
+	return b
+}
+
+// AddEdge records the undirected edge {u, v} with weight w.
+//
+// Deprecated: AddEdge is a shim easing migration from the old mutable
+// Graph API; new code should use Add (chainable) instead.
+func (b *Builder) AddEdge(u, v Node, w float64) { b.Add(u, v, w) }
+
+// halfArc is a directed arc with an explicit source, the unit of the
+// Freeze radix scatter.
+type halfArc struct {
+	from, to Node
+	w        float64
+}
+
+// Freeze sorts and dedups the accumulated edges and returns the immutable
+// CSR graph. Sorting is a two-pass stable counting scatter — bucket the 2m
+// directed halves by target, then by source — which orders the arc array
+// by (from, to) in O(m + n) with purely sequential writes and no
+// comparator calls; a final in-place compaction collapses parallel edges
+// to the lightest copy.
+func (b *Builder) Freeze() *Graph {
+	n := b.n
+	m2 := 2 * len(b.edges)
+	if m2 > math.MaxInt32 {
+		// Row offsets are int32; fail loudly rather than corrupt silently.
+		panic(fmt.Sprintf("graph: %d arcs exceed the int32 CSR offset range", m2))
+	}
+	// Pass 1: stable counting scatter by target.
+	cnt := make([]int32, n+1)
+	for _, e := range b.edges {
+		cnt[e.U+1]++
+		cnt[e.V+1]++
+	}
+	for v := 0; v < n; v++ {
+		cnt[v+1] += cnt[v]
+	}
+	rowStart := append([]int32(nil), cnt...) // degree prefix sums, reused in pass 2
+	byTo := make([]halfArc, m2)
+	for _, e := range b.edges {
+		byTo[cnt[e.V]] = halfArc{from: e.U, to: e.V, w: e.Weight}
+		cnt[e.V]++
+		byTo[cnt[e.U]] = halfArc{from: e.V, to: e.U, w: e.Weight}
+		cnt[e.U]++
+	}
+	// Pass 2: stable counting scatter by source. Stability makes each row
+	// sorted by target, so the arc array is ordered by (from, to).
+	arcs := make([]Arc, m2)
+	next := cnt[:n]
+	copy(next, rowStart[:n])
+	for _, h := range byTo {
+		arcs[next[h.from]] = Arc{To: h.to, Weight: h.w}
+		next[h.from]++
+	}
+	// Compact forward, keeping the lightest parallel edge. The write cursor
+	// never passes the current row's start, so this is safe in place.
+	finalRow := make([]int32, n+1)
+	w := 0
+	for v := 0; v < n; v++ {
+		finalRow[v] = int32(w)
+		last := Node(-1)
+		for _, a := range arcs[rowStart[v]:rowStart[v+1]] {
+			if a.To == last {
+				if a.Weight < arcs[w-1].Weight {
+					arcs[w-1] = a
+				}
+				continue
+			}
+			last = a.To
+			arcs[w] = a
+			w++
+		}
+	}
+	finalRow[n] = int32(w)
+	if w < m2 {
+		// Duplicates were collapsed: re-slice to exact size so a long-lived
+		// graph does not pin the oversized pre-dedup backing array.
+		arcs = append(make([]Arc, 0, w), arcs[:w]...)
+	}
+	return &Graph{rowStart: finalRow, arcs: arcs, m: w / 2}
 }

@@ -7,11 +7,8 @@ import (
 	"parmbf/internal/semiring"
 )
 
-func TestAddEdgeAndAccessors(t *testing.T) {
-	g := New(4)
-	g.AddEdge(0, 1, 2)
-	g.AddEdge(1, 2, 3)
-	g.AddEdge(0, 3, 1.5)
+func TestBuilderAndAccessors(t *testing.T) {
+	g := NewBuilder(4).Add(0, 1, 2).Add(1, 2, 3).Add(0, 3, 1.5).Freeze()
 	if g.N() != 4 || g.M() != 3 {
 		t.Fatalf("N=%d M=%d, want 4, 3", g.N(), g.M())
 	}
@@ -32,11 +29,8 @@ func TestAddEdgeAndAccessors(t *testing.T) {
 	}
 }
 
-func TestAddEdgeParallelKeepsLighter(t *testing.T) {
-	g := New(2)
-	g.AddEdge(0, 1, 5)
-	g.AddEdge(0, 1, 3)
-	g.AddEdge(0, 1, 9)
+func TestFreezeParallelKeepsLighter(t *testing.T) {
+	g := NewBuilder(2).Add(0, 1, 5).Add(1, 0, 3).Add(0, 1, 9).Freeze()
 	if g.M() != 1 {
 		t.Fatalf("M = %d, want 1 (parallel edges collapsed)", g.M())
 	}
@@ -48,16 +42,16 @@ func TestAddEdgeParallelKeepsLighter(t *testing.T) {
 	}
 }
 
-func TestAddEdgePanics(t *testing.T) {
+func TestBuilderAddPanics(t *testing.T) {
 	cases := []struct {
 		name string
 		fn   func()
 	}{
-		{"loop", func() { New(2).AddEdge(1, 1, 1) }},
-		{"zero weight", func() { New(2).AddEdge(0, 1, 0) }},
-		{"negative weight", func() { New(2).AddEdge(0, 1, -1) }},
-		{"inf weight", func() { New(2).AddEdge(0, 1, semiring.Inf) }},
-		{"out of range", func() { New(2).AddEdge(0, 5, 1) }},
+		{"loop", func() { NewBuilder(2).Add(1, 1, 1) }},
+		{"zero weight", func() { NewBuilder(2).Add(0, 1, 0) }},
+		{"negative weight", func() { NewBuilder(2).Add(0, 1, -1) }},
+		{"inf weight", func() { NewBuilder(2).Add(0, 1, semiring.Inf) }},
+		{"out of range", func() { NewBuilder(2).Add(0, 5, 1) }},
 	}
 	for _, c := range cases {
 		func() {
@@ -72,10 +66,7 @@ func TestAddEdgePanics(t *testing.T) {
 }
 
 func TestEdgesSortedAndComplete(t *testing.T) {
-	g := New(4)
-	g.AddEdge(2, 1, 4)
-	g.AddEdge(0, 3, 1)
-	g.AddEdge(0, 1, 2)
+	g := NewBuilder(4).Add(2, 1, 4).Add(0, 3, 1).Add(0, 1, 2).Freeze()
 	es := g.Edges()
 	want := []Edge{{0, 1, 2}, {0, 3, 1}, {1, 2, 4}}
 	if len(es) != len(want) {
@@ -88,25 +79,85 @@ func TestEdgesSortedAndComplete(t *testing.T) {
 	}
 }
 
+func TestEdgesSortedNoDuplicatesAfterDedup(t *testing.T) {
+	// Insert edges out of order, reversed, and duplicated; Edges() must
+	// come back strictly (U,V)-sorted with every duplicate collapsed to
+	// the lightest weight, in a single linear pass.
+	b := NewBuilder(5)
+	b.Add(3, 4, 9)
+	b.Add(1, 0, 7)  // reversed
+	b.Add(0, 1, 4)  // duplicate, lighter: must win
+	b.Add(4, 3, 11) // reversed duplicate, heavier: must lose
+	b.Add(2, 0, 1)
+	b.Add(0, 2, 1) // exact duplicate
+	b.Add(1, 4, 3)
+	g := b.Freeze()
+	es := g.Edges()
+	want := []Edge{{0, 1, 4}, {0, 2, 1}, {1, 4, 3}, {3, 4, 9}}
+	if len(es) != len(want) || g.M() != len(want) {
+		t.Fatalf("Edges = %v (M=%d), want %v", es, g.M(), want)
+	}
+	for i := range want {
+		if es[i] != want[i] {
+			t.Fatalf("Edges[%d] = %v, want %v", i, es[i], want[i])
+		}
+	}
+	for i := 1; i < len(es); i++ {
+		prev, cur := es[i-1], es[i]
+		if cur.U < prev.U || (cur.U == prev.U && cur.V <= prev.V) {
+			t.Fatalf("Edges not strictly (U,V)-sorted at %d: %v then %v", i, prev, cur)
+		}
+	}
+	// The arc rows themselves must be sorted and duplicate-free too.
+	for v := Node(0); int(v) < g.N(); v++ {
+		row := g.Neighbors(v)
+		for i := 1; i < len(row); i++ {
+			if row[i].To <= row[i-1].To {
+				t.Fatalf("row %d not strictly sorted: %v", v, row)
+			}
+		}
+	}
+}
+
 func TestCloneIsDeep(t *testing.T) {
-	g := New(3)
-	g.AddEdge(0, 1, 2)
+	g := NewBuilder(3).Add(0, 1, 2).Add(1, 2, 1).Freeze()
 	h := g.Clone()
-	h.AddEdge(1, 2, 1)
+	if h.N() != g.N() || h.M() != g.M() {
+		t.Fatal("clone differs from original")
+	}
+	for v := Node(0); int(v) < g.N(); v++ {
+		a, b := g.Neighbors(v), h.Neighbors(v)
+		if len(a) != len(b) {
+			t.Fatal("clone row length differs")
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatal("clone arc differs")
+			}
+		}
+		if len(a) > 0 && &a[0] == &b[0] {
+			t.Fatal("clone shares backing arc array with original")
+		}
+	}
+}
+
+func TestBuilderFromGraphExtends(t *testing.T) {
+	g := NewBuilder(3).Add(0, 1, 2).Freeze()
+	h := g.Builder().Add(1, 2, 1).Freeze()
 	if g.M() != 1 || h.M() != 2 {
-		t.Fatal("clone shares state with original")
+		t.Fatalf("extend wrong: g.M=%d h.M=%d", g.M(), h.M())
+	}
+	if w, ok := h.HasEdge(0, 1); !ok || w != 2 {
+		t.Fatal("extended graph lost original edge")
 	}
 }
 
 func TestConnected(t *testing.T) {
-	g := New(4)
-	g.AddEdge(0, 1, 1)
-	g.AddEdge(2, 3, 1)
-	if g.Connected() {
+	b := NewBuilder(4).Add(0, 1, 1).Add(2, 3, 1)
+	if b.Freeze().Connected() {
 		t.Fatal("disconnected graph reported connected")
 	}
-	g.AddEdge(1, 2, 1)
-	if !g.Connected() {
+	if !b.Add(1, 2, 1).Freeze().Connected() {
 		t.Fatal("connected graph reported disconnected")
 	}
 	if !New(0).Connected() {
@@ -115,9 +166,7 @@ func TestConnected(t *testing.T) {
 }
 
 func TestWeightRange(t *testing.T) {
-	g := New(3)
-	g.AddEdge(0, 1, 2)
-	g.AddEdge(1, 2, 7)
+	g := NewBuilder(3).Add(0, 1, 2).Add(1, 2, 7).Freeze()
 	min, max := g.WeightRange()
 	if min != 2 || max != 7 {
 		t.Fatalf("WeightRange = %v, %v", min, max)
@@ -127,13 +176,7 @@ func TestWeightRange(t *testing.T) {
 // diamond returns the classic diamond graph where the direct edge 0–3 is
 // heavier than the two-hop route.
 func diamond() *Graph {
-	g := New(4)
-	g.AddEdge(0, 1, 1)
-	g.AddEdge(1, 3, 1)
-	g.AddEdge(0, 2, 2)
-	g.AddEdge(2, 3, 2)
-	g.AddEdge(0, 3, 5)
-	return g
+	return NewBuilder(4).Add(0, 1, 1).Add(1, 3, 1).Add(0, 2, 2).Add(2, 3, 2).Add(0, 3, 5).Freeze()
 }
 
 func TestDijkstraDistances(t *testing.T) {
@@ -155,8 +198,7 @@ func TestDijkstraDistances(t *testing.T) {
 }
 
 func TestDijkstraUnreachable(t *testing.T) {
-	g := New(3)
-	g.AddEdge(0, 1, 1)
+	g := NewBuilder(3).Add(0, 1, 1).Freeze()
 	res := Dijkstra(g, 0)
 	if !semiring.IsInf(res.Dist[2]) {
 		t.Fatal("unreachable node has finite distance")
@@ -169,11 +211,7 @@ func TestDijkstraUnreachable(t *testing.T) {
 func TestDijkstraMinHopTieBreaking(t *testing.T) {
 	// Two shortest 0→3 paths of weight 3: 0-1-2-3 (3 hops) and 0-3 via a
 	// direct edge of weight 3 (1 hop). Hops must report 1.
-	g := New(4)
-	g.AddEdge(0, 1, 1)
-	g.AddEdge(1, 2, 1)
-	g.AddEdge(2, 3, 1)
-	g.AddEdge(0, 3, 3)
+	g := NewBuilder(4).Add(0, 1, 1).Add(1, 2, 1).Add(2, 3, 1).Add(0, 3, 3).Freeze()
 	res := Dijkstra(g, 0)
 	if res.Dist[3] != 3 {
 		t.Fatalf("dist = %v", res.Dist[3])
@@ -223,14 +261,12 @@ func TestSPDPath(t *testing.T) {
 func TestSPDShortcutEdge(t *testing.T) {
 	// A path with a heavy chord: the chord does not lie on any shortest
 	// path, so SPD remains that of the path.
-	g := PathGraph(6, 1)
-	g.AddEdge(0, 5, 100)
+	g := PathGraph(6, 1).Builder().Add(0, 5, 100).Freeze()
 	if spd := SPD(g); spd != 5 {
 		t.Fatalf("SPD = %d, want 5", spd)
 	}
 	// A light chord creates a 1-hop shortest path between the endpoints.
-	h := PathGraph(6, 1)
-	h.AddEdge(0, 5, 1)
+	h := PathGraph(6, 1).Builder().Add(0, 5, 1).Freeze()
 	if spd := SPD(h); spd >= 5 {
 		t.Fatalf("SPD = %d, want < 5 after shortcut", spd)
 	}

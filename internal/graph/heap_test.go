@@ -1,0 +1,122 @@
+package graph
+
+import (
+	"container/heap"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestHeap4PushPopSorted(t *testing.T) {
+	const n = 500
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]float64, n)
+	h := NewHeap4[float64](n)
+	for i := range keys {
+		keys[i] = rng.Float64()
+		h.Push(int32(i), keys[i])
+	}
+	if h.Len() != n {
+		t.Fatalf("Len = %d, want %d", h.Len(), n)
+	}
+	want := append([]float64(nil), keys...)
+	sort.Float64s(want)
+	for i := 0; i < n; i++ {
+		id, k := h.Pop()
+		if k != want[i] {
+			t.Fatalf("pop %d: key %v, want %v", i, k, want[i])
+		}
+		if keys[id] != k {
+			t.Fatalf("pop %d: id %d does not own key %v", i, id, k)
+		}
+	}
+	if h.Len() != 0 {
+		t.Fatal("heap not empty after draining")
+	}
+}
+
+func TestHeap4DecreaseKey(t *testing.T) {
+	h := NewHeap4[float64](4)
+	h.Push(0, 10)
+	h.Push(1, 20)
+	h.Push(2, 30)
+	if !h.Contains(1) || h.Contains(3) {
+		t.Fatal("Contains wrong")
+	}
+	h.Push(2, 5) // decrease 30 → 5: must pop first now
+	id, k := h.Pop()
+	if id != 2 || k != 5 {
+		t.Fatalf("Pop = (%d, %v), want (2, 5)", id, k)
+	}
+	if h.Contains(2) {
+		t.Fatal("popped id still reported present")
+	}
+	h.Push(2, 1) // re-insert after pop
+	if id, k := h.Pop(); id != 2 || k != 1 {
+		t.Fatalf("re-insert Pop = (%d, %v), want (2, 1)", id, k)
+	}
+}
+
+func TestHeap4GenericIntKeys(t *testing.T) {
+	h := NewHeap4[int](3)
+	h.Push(0, 7)
+	h.Push(1, 3)
+	h.Push(2, 5)
+	order := []int32{1, 2, 0}
+	for _, want := range order {
+		if id, _ := h.Pop(); id != want {
+			t.Fatalf("int-key pop order wrong: got %d, want %d", id, want)
+		}
+	}
+}
+
+// TestHeap4AgainstContainerHeap drives both heaps with the same random
+// push/decrease/pop trace and checks the popped key sequences coincide.
+func TestHeap4AgainstContainerHeap(t *testing.T) {
+	const n = 200
+	rng := rand.New(rand.NewSource(7))
+	h := NewHeap4[float64](n)
+	var ref boxedPQ
+	best := make([]float64, n) // current key per id, NaN-free; +Inf = absent
+	for i := range best {
+		best[i] = -1
+	}
+	var got, want []float64
+	for step := 0; step < 2000; step++ {
+		switch {
+		case rng.Intn(3) > 0 || h.Len() == 0:
+			id := int32(rng.Intn(n))
+			k := rng.Float64()
+			if h.Contains(id) {
+				if k >= best[id] {
+					continue // only decreases are legal
+				}
+			} else if best[id] >= 0 {
+				continue // popped earlier in this trace; keep it out
+			}
+			best[id] = k
+			h.Push(id, k)
+			heap.Push(&ref, boxedItem{node: Node(id), dist: k})
+		default:
+			_, k := h.Pop()
+			got = append(got, k)
+			// Drain stale duplicates from the boxed heap (it uses lazy
+			// deletion).
+			for {
+				it := heap.Pop(&ref).(boxedItem)
+				if best[it.node] == it.dist {
+					want = append(want, it.dist)
+					break
+				}
+			}
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("pop counts differ: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("pop %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strings"
 )
 
@@ -31,12 +32,13 @@ func Write(w io.Writer, g *Graph) error {
 }
 
 // Read parses a graph in the edge-list format. It validates the header
-// against the actual edge count and re-applies all Graph invariants
-// (positive weights, no loops, in-range endpoints).
+// against the frozen edge count (parallel edges collapse to the lightest)
+// and re-applies all Graph invariants (positive weights, no loops, in-range
+// endpoints).
 func Read(r io.Reader) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
-	var g *Graph
+	var b *Builder
 	declared := -1
 	lineNo := 0
 	for sc.Scan() {
@@ -47,7 +49,7 @@ func Read(r io.Reader) (*Graph, error) {
 		}
 		switch {
 		case strings.HasPrefix(line, "p "):
-			if g != nil {
+			if b != nil {
 				return nil, fmt.Errorf("line %d: duplicate header", lineNo)
 			}
 			var n, m int
@@ -57,10 +59,10 @@ func Read(r io.Reader) (*Graph, error) {
 			if n < 0 || m < 0 {
 				return nil, fmt.Errorf("line %d: negative sizes", lineNo)
 			}
-			g = New(n)
+			b = NewBuilder(n)
 			declared = m
 		case strings.HasPrefix(line, "e "):
-			if g == nil {
+			if b == nil {
 				return nil, fmt.Errorf("line %d: edge before header", lineNo)
 			}
 			var u, v int
@@ -68,10 +70,11 @@ func Read(r io.Reader) (*Graph, error) {
 			if _, err := fmt.Sscanf(line, "e %d %d %g", &u, &v, &w); err != nil {
 				return nil, fmt.Errorf("line %d: bad edge %q: %v", lineNo, line, err)
 			}
-			if u < 0 || u >= g.N() || v < 0 || v >= g.N() || u == v || w <= 0 {
+			if u < 0 || u >= b.N() || v < 0 || v >= b.N() || u == v ||
+				!(w > 0) || math.IsInf(w, 0) { // !(w > 0) also rejects NaN
 				return nil, fmt.Errorf("line %d: invalid edge %q", lineNo, line)
 			}
-			g.AddEdge(Node(u), Node(v), w)
+			b.Add(Node(u), Node(v), w)
 		default:
 			return nil, fmt.Errorf("line %d: unrecognised line %q", lineNo, line)
 		}
@@ -79,9 +82,10 @@ func Read(r io.Reader) (*Graph, error) {
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	if g == nil {
+	if b == nil {
 		return nil, fmt.Errorf("missing header")
 	}
+	g := b.Freeze()
 	if g.M() != declared {
 		return nil, fmt.Errorf("header declares %d edges, found %d", declared, g.M())
 	}

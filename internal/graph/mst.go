@@ -54,13 +54,13 @@ func MST(g *Graph) (*Graph, float64) {
 	edges := g.Edges()
 	sort.Slice(edges, func(i, j int) bool { return edges[i].Weight < edges[j].Weight })
 	uf := NewUnionFind(g.N())
-	out := New(g.N())
+	out := NewBuilder(g.N())
 	total := 0.0
 	for _, e := range edges {
 		if uf.Union(int32(e.U), int32(e.V)) {
-			out.AddEdge(e.U, e.V, e.Weight)
+			out.Add(e.U, e.V, e.Weight)
 			total += e.Weight
 		}
 	}
-	return out, total
+	return out.Freeze(), total
 }

@@ -1,8 +1,6 @@
 package graph
 
 import (
-	"container/heap"
-
 	"parmbf/internal/semiring"
 )
 
@@ -11,6 +9,7 @@ import (
 // reached first by the heap order, i.e. deterministically for fixed
 // weights). It is the evaluation primitive of the k-median application
 // (dist(v, F, G) in Definition 9.1) and of the candidate-sampling step.
+// Like Dijkstra, it runs on the non-boxing 4-ary index heap.
 func MultiSourceDijkstra(g *Graph, sources []Node) (dist []float64, nearest []Node) {
 	n := g.N()
 	dist = make([]float64, n)
@@ -19,28 +18,22 @@ func MultiSourceDijkstra(g *Graph, sources []Node) (dist []float64, nearest []No
 		dist[v] = semiring.Inf
 		nearest[v] = -1
 	}
-	q := make(pq, 0, len(sources))
+	q := NewHeap4[float64](n)
 	for _, s := range sources {
 		if dist[s] > 0 {
 			dist[s] = 0
 			nearest[s] = s
-			q = append(q, pqItem{node: s, dist: 0})
+			q.Push(int32(s), 0)
 		}
 	}
-	heap.Init(&q)
-	done := make([]bool, n)
-	for len(q) > 0 {
-		it := heap.Pop(&q).(pqItem)
-		v := it.node
-		if done[v] {
-			continue
-		}
-		done[v] = true
-		for _, a := range g.adj[v] {
-			if nd := dist[v] + a.Weight; nd < dist[a.To] {
+	for q.Len() > 0 {
+		v32, dv := q.Pop()
+		v := Node(v32)
+		for _, a := range g.Neighbors(v) {
+			if nd := dv + a.Weight; nd < dist[a.To] {
 				dist[a.To] = nd
 				nearest[a.To] = nearest[v]
-				heap.Push(&q, pqItem{node: a.To, dist: nd})
+				q.Push(int32(a.To), nd)
 			}
 		}
 	}

@@ -1,8 +1,6 @@
 package graph
 
 import (
-	"container/heap"
-
 	"parmbf/internal/semiring"
 )
 
@@ -10,26 +8,8 @@ import (
 // ground truth for the MBF-like machinery: Dijkstra (with predecessor and
 // min-hop tracking), hop-limited Bellman-Ford for h-hop distances
 // dist^h(v,·,G), and the derived SPD/hop-diameter computations of §1.2.
-
-// pqItem is a binary-heap entry for Dijkstra.
-type pqItem struct {
-	node Node
-	dist float64
-}
-
-type pq []pqItem
-
-func (q pq) Len() int            { return len(q) }
-func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
-func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
-func (q *pq) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
-}
+// Both Dijkstra variants run on the non-boxing 4-ary index heap (Heap4)
+// over the flat CSR arc array.
 
 // SSSPResult holds the output of a single-source shortest-path computation.
 type SSSPResult struct {
@@ -61,24 +41,27 @@ func Dijkstra(g *Graph, source Node) *SSSPResult {
 		res.Parent[v] = -1
 	}
 	res.Dist[source] = 0
-	done := make([]bool, n)
-	q := pq{{node: source, dist: 0}}
-	for len(q) > 0 {
-		it := heap.Pop(&q).(pqItem)
-		v := it.node
-		if done[v] {
-			continue
-		}
-		done[v] = true
-		for _, a := range g.adj[v] {
-			nd := res.Dist[v] + a.Weight
-			nh := res.Hops[v] + 1
+	q := NewHeap4[float64](n)
+	q.Push(int32(source), 0)
+	for q.Len() > 0 {
+		v32, dv := q.Pop()
+		v := Node(v32)
+		nh := res.Hops[v] + 1
+		for _, a := range g.Neighbors(v) {
+			nd := dv + a.Weight
 			w := a.To
-			if nd < res.Dist[w] || (nd == res.Dist[w] && !done[w] && nh < res.Hops[w]) {
+			if nd < res.Dist[w] {
 				res.Dist[w] = nd
 				res.Hops[w] = nh
 				res.Parent[w] = v
-				heap.Push(&q, pqItem{node: w, dist: nd})
+				q.Push(int32(w), nd)
+			} else if nd == res.Dist[w] && nh < res.Hops[w] {
+				// Equal-distance, fewer hops: with positive weights this
+				// can only happen while w is still in the heap (dv <
+				// Dist[w] implies v popped before w), so no heap update
+				// is needed — the key is unchanged.
+				res.Hops[w] = nh
+				res.Parent[w] = v
 			}
 		}
 	}
@@ -120,7 +103,7 @@ func BellmanFord(g *Graph, source Node, h int) []float64 {
 			if semiring.IsInf(dist[v]) {
 				continue
 			}
-			for _, a := range g.adj[v] {
+			for _, a := range g.Neighbors(Node(v)) {
 				if nd := dist[v] + a.Weight; nd < next[a.To] {
 					next[a.To] = nd
 					changed = true
@@ -182,7 +165,7 @@ func HopDiameter(g *Graph) int {
 		depth[s] = 0
 		for head := 0; head < len(queue); head++ {
 			v := queue[head]
-			for _, a := range g.adj[v] {
+			for _, a := range g.Neighbors(v) {
 				if depth[a.To] == -1 {
 					depth[a.To] = depth[v] + 1
 					if depth[a.To] > max {

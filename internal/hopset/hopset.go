@@ -86,8 +86,10 @@ func Skeleton(g *graph.Graph, ell int, c float64, rng *par.RNG, tracker *par.Tra
 	})
 	tracker.AddPhase(int64(len(skeleton))*int64(ell)*int64(g.M()+1), int64(ell))
 
-	gp := g.Clone()
-	added := 0
+	// Accumulate the overlay edges in a Builder seeded with G; Freeze
+	// collapses parallel edges to the lightest, so a candidate only
+	// survives where it beats the existing weight.
+	b := g.Builder()
 	for i, s := range skeleton {
 		for j := i + 1; j < len(skeleton); j++ {
 			t := skeleton[j]
@@ -95,15 +97,11 @@ func Skeleton(g *graph.Graph, ell int, c float64, rng *par.RNG, tracker *par.Tra
 			if semiring.IsInf(d) || d <= 0 {
 				continue
 			}
-			if w, ok := gp.HasEdge(s, t); !ok || d < w {
-				before := gp.M()
-				gp.AddEdge(s, t, d)
-				if gp.M() > before {
-					added++
-				}
-			}
+			b.Add(s, t, d)
 		}
 	}
+	gp := b.Freeze()
+	added := gp.M() - g.M()
 	tracker.AddPhase(int64(len(skeleton))*int64(len(skeleton)), 1)
 
 	// Hop bound: ℓ hops to reach the first skeleton node, one overlay hop
@@ -151,24 +149,18 @@ func Landmark(g *graph.Graph, count int, rng *par.RNG, tracker *par.Tracker) *Re
 	})
 	tracker.AddPhase(int64(count)*int64(g.M()+g.N()), int64(g.N()))
 
-	gp := g.Clone()
-	added := 0
+	b := g.Builder()
 	for i, l := range landmarks {
 		for v := 0; v < n; v++ {
 			d := dists[i].Dist[v]
 			if graph.Node(v) == l || semiring.IsInf(d) || d <= 0 {
 				continue
 			}
-			if w, ok := gp.HasEdge(graph.Node(v), l); !ok || d < w {
-				before := gp.M()
-				gp.AddEdge(graph.Node(v), l, d)
-				if gp.M() > before {
-					added++
-				}
-			}
+			b.Add(graph.Node(v), l, d)
 		}
 	}
-	return &Result{Graph: gp, D: 2, EpsHat: math.NaN(), Added: added}
+	gp := b.Freeze()
+	return &Result{Graph: gp, D: 2, EpsHat: math.NaN(), Added: gp.M() - g.M()}
 }
 
 // Measure empirically evaluates the hop-set inequality (1.3) on `pairs`

@@ -1,0 +1,101 @@
+package mbf
+
+import (
+	"math/rand"
+	"testing"
+
+	"parmbf/internal/graph"
+	"parmbf/internal/semiring"
+)
+
+// This property test pins the Builder/Freeze semantics against a naive
+// map-based reference: a random edge stream with duplicate and reversed
+// insertions must freeze to exactly the reference's lightest-copy edge
+// set, and the frozen CSR graph must be indistinguishable from a graph
+// built from the clean reference edges — for Edges(), for Dijkstra, and
+// for an MBF-like zoo instance run by the engine. It runs in the short
+// tier and under -race in CI (the MBF engine iterates the shared frozen
+// graph from parallel goroutines).
+
+type pair struct{ u, v graph.Node }
+
+func canon(u, v graph.Node) pair {
+	if u > v {
+		u, v = v, u
+	}
+	return pair{u, v}
+}
+
+func TestBuilderMatchesMapReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + rng.Intn(28)
+		inserts := 1 + rng.Intn(4*n)
+		ref := map[pair]float64{}
+		b := graph.NewBuilder(n)
+		for i := 0; i < inserts; i++ {
+			u := graph.Node(rng.Intn(n))
+			v := graph.Node(rng.Intn(n))
+			if u == v {
+				continue
+			}
+			w := float64(1+rng.Intn(64)) / 8
+			if rng.Intn(2) == 0 {
+				u, v = v, u // reversed insertion
+			}
+			b.Add(u, v, w)
+			if rng.Intn(3) == 0 {
+				b.Add(v, u, w+1) // heavier duplicate: must lose
+			}
+			k := canon(u, v)
+			if old, ok := ref[k]; !ok || w < old {
+				ref[k] = w
+			}
+		}
+		g := b.Freeze()
+
+		// Edges() must equal the reference set exactly, (U,V)-sorted.
+		es := g.Edges()
+		if len(es) != len(ref) || g.M() != len(ref) {
+			t.Fatalf("trial %d: %d edges, reference has %d", trial, len(es), len(ref))
+		}
+		for i, e := range es {
+			if w, ok := ref[pair{e.U, e.V}]; !ok || w != e.Weight {
+				t.Fatalf("trial %d: edge %v not in reference (want %v)", trial, e, w)
+			}
+			if i > 0 && (e.U < es[i-1].U || (e.U == es[i-1].U && e.V <= es[i-1].V)) {
+				t.Fatalf("trial %d: Edges not sorted at %d: %v", trial, i, es)
+			}
+		}
+
+		// A graph rebuilt from the clean reference edges must behave
+		// identically: same Dijkstra output and same MBF zoo output.
+		rb := graph.NewBuilder(n)
+		for k, w := range ref {
+			rb.Add(k.u, k.v, w)
+		}
+		rg := rb.Freeze()
+		for _, src := range []graph.Node{0, graph.Node(n / 2)} {
+			a, c := graph.Dijkstra(g, src), graph.Dijkstra(rg, src)
+			for v := 0; v < n; v++ {
+				if a.Dist[v] != c.Dist[v] || a.Hops[v] != c.Hops[v] {
+					t.Fatalf("trial %d: Dijkstra(%d) differs at %d: (%v,%d) vs (%v,%d)",
+						trial, src, v, a.Dist[v], a.Hops[v], c.Dist[v], c.Hops[v])
+				}
+			}
+		}
+		hop1, hop2 := SSSP(g, 0, n, nil), SSSP(rg, 0, n, nil)
+		for v := range hop1 {
+			if hop1[v] != hop2[v] {
+				t.Fatalf("trial %d: MBF SSSP differs at %d: %v vs %v", trial, v, hop1[v], hop2[v])
+			}
+		}
+		k := 1 + rng.Intn(3)
+		top1, top2 := KSSP(g, k, n, nil), KSSP(rg, k, n, nil)
+		for v := range top1 {
+			if !(semiring.DistMapModule{}).Equal(top1[v], top2[v]) {
+				t.Fatalf("trial %d: MBF k-SSP differs at %d: %v vs %v", trial, v, top1[v], top2[v])
+			}
+		}
+	}
+}

@@ -12,14 +12,9 @@ import (
 func testGraph() *graph.Graph {
 	// A small graph with interesting structure: a square with a diagonal
 	// and a pendant.
-	g := graph.New(5)
-	g.AddEdge(0, 1, 1)
-	g.AddEdge(1, 2, 2)
-	g.AddEdge(2, 3, 1)
-	g.AddEdge(3, 0, 4)
-	g.AddEdge(0, 2, 2.5)
-	g.AddEdge(3, 4, 1)
-	return g
+	return graph.NewBuilder(5).
+		Add(0, 1, 1).Add(1, 2, 2).Add(2, 3, 1).
+		Add(3, 0, 4).Add(0, 2, 2.5).Add(3, 4, 1).Freeze()
 }
 
 func randomGraph(seed uint64, n, m int) *graph.Graph {
@@ -257,10 +252,7 @@ func TestMSWPSubset(t *testing.T) {
 
 func TestConnectivity(t *testing.T) {
 	// Two components: {0,1,2} and {3,4}.
-	g := graph.New(5)
-	g.AddEdge(0, 1, 1)
-	g.AddEdge(1, 2, 1)
-	g.AddEdge(3, 4, 1)
+	g := graph.NewBuilder(5).Add(0, 1, 1).Add(1, 2, 1).Add(3, 4, 1).Freeze()
 	res := Connectivity(g, 5, nil)
 	wantA := []semiring.NodeID{0, 1, 2}
 	wantB := []semiring.NodeID{3, 4}
@@ -339,11 +331,7 @@ func TestKShortestDistancesBruteForce(t *testing.T) {
 func TestKShortestDistinctWeights(t *testing.T) {
 	// A graph with two equal-weight parallel routes: k-DSDP must keep only
 	// one path per distinct weight.
-	g := graph.New(4)
-	g.AddEdge(0, 1, 1)
-	g.AddEdge(0, 2, 1)
-	g.AddEdge(1, 3, 1)
-	g.AddEdge(2, 3, 1)
+	g := graph.NewBuilder(4).Add(0, 1, 1).Add(0, 2, 1).Add(1, 3, 1).Add(2, 3, 1).Freeze()
 	res := KShortestDistances(g, 3, 2, g.N(), true, nil)
 	var weights []float64
 	for _, w := range res[0] {

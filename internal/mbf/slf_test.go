@@ -96,10 +96,7 @@ func TestMatrixPowerMaxMinIsWidestPath(t *testing.T) {
 
 func TestMatrixPowerBooleanIsReachability(t *testing.T) {
 	// Equation (3.30) in matrix form: (A^h x(0))_{vw} = 1 ⇔ P^h(v,w) ≠ ∅.
-	g := graph.New(5)
-	g.AddEdge(0, 1, 1)
-	g.AddEdge(1, 2, 1)
-	g.AddEdge(3, 4, 1)
+	g := graph.NewBuilder(5).Add(0, 1, 1).Add(1, 2, 1).Add(3, 4, 1).Freeze()
 	sr := semiring.Boolean{}
 	a := semiring.NewMat[bool](sr, g.N())
 	for _, e := range g.Edges() {
@@ -128,11 +125,7 @@ func TestMatrixPowerBooleanIsReachability(t *testing.T) {
 func TestMatrixPowerAllPathsEnumeratesPaths(t *testing.T) {
 	// Lemma 3.20 in matrix form: (A^h x(0))_v contains exactly the ≤h-hop
 	// paths starting at v, with their weights.
-	g := graph.New(4)
-	g.AddEdge(0, 1, 1)
-	g.AddEdge(1, 2, 2)
-	g.AddEdge(0, 2, 5)
-	g.AddEdge(2, 3, 1)
+	g := graph.NewBuilder(4).Add(0, 1, 1).Add(1, 2, 2).Add(0, 2, 5).Add(2, 3, 1).Freeze()
 	sr := semiring.AllPaths{}
 	a := semiring.NewMat[semiring.PathSet](sr, g.N())
 	for _, e := range g.Edges() {

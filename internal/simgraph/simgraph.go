@@ -117,7 +117,7 @@ func (h *H) EdgeWeight(v, w graph.Node) float64 {
 func (h *H) Materialize() *graph.Graph {
 	n := h.N()
 	gp := h.Hop.Graph
-	out := graph.New(n)
+	out := graph.NewBuilder(n)
 	rows := make([][]float64, n)
 	par.ForEach(n, func(v int) {
 		rows[v] = graph.BellmanFord(gp, graph.Node(v), h.Hop.D)
@@ -128,10 +128,10 @@ func (h *H) Materialize() *graph.Graph {
 			if semiring.IsInf(d) {
 				continue
 			}
-			out.AddEdge(graph.Node(v), graph.Node(w), h.scale[h.EdgeLevel(graph.Node(v), graph.Node(w))]*d)
+			out.Add(graph.Node(v), graph.Node(w), h.scale[h.EdgeLevel(graph.Node(v), graph.Node(w))]*d)
 		}
 	}
-	return out
+	return out.Freeze()
 }
 
 // Oracle answers MBF-like queries on H over the distance-map semimodule D

@@ -28,13 +28,10 @@ import (
 // of g (stretch 1). The input graph is not modified.
 func Build(g *graph.Graph, k int, rng *par.RNG, tracker *par.Tracker) *graph.Graph {
 	n := g.N()
-	out := graph.New(n)
 	if k <= 1 {
-		for _, e := range g.Edges() {
-			out.AddEdge(e.U, e.V, e.Weight)
-		}
-		return out
+		return g.Clone()
 	}
+	out := graph.NewBuilder(n)
 	p := math.Pow(float64(n), -1/float64(k))
 
 	// cluster[v] is the id of v's current cluster, or -1 once v retired.
@@ -42,25 +39,23 @@ func Build(g *graph.Graph, k int, rng *par.RNG, tracker *par.Tracker) *graph.Gra
 	for v := range cluster {
 		cluster[v] = int32(v)
 	}
-	// alive marks edges still under consideration, addressed via the
-	// position of the arc in each endpoint's adjacency list. We keep one
-	// boolean per (node, arc-index).
-	alive := make([][]bool, n)
+	// alive marks edges still under consideration, one boolean per directed
+	// arc in the flat CSR layout: the arc Neighbors(v)[i] lives at
+	// off[v]+i.
+	off := make([]int, n+1)
 	for v := 0; v < n; v++ {
-		alive[v] = make([]bool, g.Degree(graph.Node(v)))
-		for i := range alive[v] {
-			alive[v][i] = true
-		}
+		off[v+1] = off[v] + g.Degree(graph.Node(v))
 	}
-	// kill marks the arc v→w (and its reverse) dead.
+	alive := make([]bool, off[n])
+	for i := range alive {
+		alive[i] = true
+	}
+	// kill marks the arc v→w (and its reverse, found by binary search) dead.
 	kill := func(v graph.Node, idx int) {
-		alive[v][idx] = false
+		alive[off[v]+idx] = false
 		w := g.Neighbors(v)[idx].To
-		for j, a := range g.Neighbors(w) {
-			if a.To == v {
-				alive[w][j] = false
-				return
-			}
+		if j := g.NeighborIndex(w, v); j >= 0 {
+			alive[off[w]+j] = false
 		}
 	}
 
@@ -73,7 +68,7 @@ func Build(g *graph.Graph, k int, rng *par.RNG, tracker *par.Tracker) *graph.Gra
 	cheapestPerCluster := func(v graph.Node) map[int32]best {
 		m := make(map[int32]best)
 		for i, a := range g.Neighbors(v) {
-			if !alive[v][i] {
+			if !alive[off[v]+i] {
 				continue
 			}
 			c := cluster[a.To]
@@ -136,7 +131,7 @@ func Build(g *graph.Graph, k int, rng *par.RNG, tracker *par.Tracker) *graph.Gra
 			if found {
 				// Join bestC via its cheapest edge.
 				a := g.Neighbors(v)[bestB.idx]
-				out.AddEdge(v, a.To, a.Weight)
+				out.Add(v, a.To, a.Weight)
 				next[vi] = bestC
 				// Keep one cheapest edge to every strictly cheaper cluster
 				// and drop all edges into those clusters and into bestC.
@@ -146,16 +141,16 @@ func Build(g *graph.Graph, k int, rng *par.RNG, tracker *par.Tracker) *graph.Gra
 					}
 					if b.weight < bestB.weight {
 						e := g.Neighbors(v)[b.idx]
-						out.AddEdge(v, e.To, e.Weight)
+						out.Add(v, e.To, e.Weight)
 						for i, arc := range g.Neighbors(v) {
-							if alive[v][i] && cluster[arc.To] == cc {
+							if alive[off[v]+i] && cluster[arc.To] == cc {
 								kill(v, i)
 							}
 						}
 					}
 				}
 				for i, arc := range g.Neighbors(v) {
-					if alive[v][i] && cluster[arc.To] == bestC {
+					if alive[off[v]+i] && cluster[arc.To] == bestC {
 						kill(v, i)
 					}
 				}
@@ -164,10 +159,10 @@ func Build(g *graph.Graph, k int, rng *par.RNG, tracker *par.Tracker) *graph.Gra
 				// cluster, then retire v with all its edges.
 				for _, b := range adj {
 					e := g.Neighbors(v)[b.idx]
-					out.AddEdge(v, e.To, e.Weight)
+					out.Add(v, e.To, e.Weight)
 				}
 				for i := range g.Neighbors(v) {
-					if alive[v][i] {
+					if alive[off[v]+i] {
 						kill(v, i)
 					}
 				}
@@ -183,12 +178,12 @@ func Build(g *graph.Graph, k int, rng *par.RNG, tracker *par.Tracker) *graph.Gra
 		v := graph.Node(vi)
 		for _, b := range cheapestPerCluster(v) {
 			e := g.Neighbors(v)[b.idx]
-			out.AddEdge(v, e.To, e.Weight)
+			out.Add(v, e.To, e.Weight)
 		}
 		work += int64(g.Degree(v))
 	}
 	tracker.AddPhase(work, int64(k))
-	return out
+	return out.Freeze()
 }
 
 // RecommendedK returns the k achieving edge budget ≈ n^{1+ε}: the k of

@@ -42,8 +42,13 @@ import (
 	"parmbf/internal/spanner"
 )
 
-// Graph is an undirected weighted graph (see NewGraph, AddEdge).
+// Graph is an immutable undirected weighted graph in compressed-sparse-row
+// form (see NewGraphBuilder).
 type Graph = graph.Graph
+
+// GraphBuilder accumulates edges — duplicates and reversed insertions
+// welcome — and freezes them into an immutable Graph (see NewGraphBuilder).
+type GraphBuilder = graph.Builder
 
 // Node identifies a vertex (0-based dense integers).
 type Node = graph.Node
@@ -74,8 +79,10 @@ type DistMap = semiring.DistMap
 // Inf is the distance value meaning "unreachable".
 var Inf = semiring.Inf
 
-// NewGraph returns an empty graph on n nodes.
-func NewGraph(n int) *Graph { return graph.New(n) }
+// NewGraphBuilder returns a builder for a graph on n nodes: call Add for
+// each edge, then Freeze to obtain the immutable Graph all algorithms
+// consume.
+func NewGraphBuilder(n int) *GraphBuilder { return graph.NewBuilder(n) }
 
 // NewRNG returns a deterministic random generator for the given seed.
 func NewRNG(seed uint64) *RNG { return par.NewRNG(seed) }

@@ -40,10 +40,7 @@ func TestZooNearestSources(t *testing.T) {
 }
 
 func TestZooWidestPaths(t *testing.T) {
-	g := NewGraph(3)
-	g.AddEdge(0, 1, 5)
-	g.AddEdge(1, 2, 3)
-	g.AddEdge(0, 2, 2)
+	g := NewGraphBuilder(3).Add(0, 1, 5).Add(1, 2, 3).Add(0, 2, 2).Freeze()
 	w := WidestPaths(g, 0)
 	if w[2] != 3 {
 		t.Fatalf("width(0,2) = %v, want 3 (via node 1)", w[2])
@@ -51,11 +48,7 @@ func TestZooWidestPaths(t *testing.T) {
 }
 
 func TestZooKShortestPaths(t *testing.T) {
-	g := NewGraph(4)
-	g.AddEdge(0, 1, 1)
-	g.AddEdge(1, 3, 1)
-	g.AddEdge(0, 2, 1)
-	g.AddEdge(2, 3, 2)
+	g := NewGraphBuilder(4).Add(0, 1, 1).Add(1, 3, 1).Add(0, 2, 1).Add(2, 3, 2).Freeze()
 	res := KShortestPaths(g, 3, 2, false)
 	if len(res[0]) != 2 {
 		t.Fatalf("node 0 keeps %d paths, want 2", len(res[0]))
@@ -71,9 +64,7 @@ func TestZooKShortestPaths(t *testing.T) {
 }
 
 func TestZooReachable(t *testing.T) {
-	g := NewGraph(4)
-	g.AddEdge(0, 1, 1)
-	g.AddEdge(2, 3, 1)
+	g := NewGraphBuilder(4).Add(0, 1, 1).Add(2, 3, 1).Freeze()
 	r := Reachable(g, 4)
 	if len(r[0]) != 2 || len(r[2]) != 2 {
 		t.Fatalf("components wrong: %v", r)
