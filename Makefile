@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet fmt-check test test-short test-race bench bench-ensemble bench-graph ci
+.PHONY: build vet fmt-check test test-short test-race bench bench-ensemble bench-graph bench-mbf bench-gate ci
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,7 @@ test-short:
 
 ## Race tier: the packages with internal parallelism, under the race detector.
 test-race:
-	$(GO) test -short -race . ./internal/frt/... ./internal/graph/... ./internal/mbf/... ./internal/par/... ./internal/simgraph/...
+	$(GO) test -short -race . ./internal/frt/... ./internal/graph/... ./internal/mbf/... ./internal/par/... ./internal/semiring/... ./internal/simgraph/...
 
 ## Ensemble hot-path benchmarks: shared pipeline vs naive per-tree sampling.
 bench-ensemble:
@@ -38,7 +38,28 @@ bench-graph:
 		--arg commit "$$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
 		'{date: $$date, commit: $$commit, bench: .}' >> BENCH_graph.json
 
+## MBF-engine benchmarks (k-way aggregation fast path vs generic fold,
+## source detection, oracle iteration, embedder sampling); each run appends
+## one JSON line to BENCH_mbf.json.
+bench-mbf:
+	@out="$$($(GO) test ./internal/mbf/ ./internal/simgraph/ ./internal/frt/ -run xxx -bench 'Iterate4096|IterateGeneric4096|SourceDetection4096|SSSPIteration|KSSP$$|OracleIterate|LEListsOnGraph|EmbedderSample' -benchmem)" \
+		|| { echo "$$out"; echo "bench-mbf: go test failed"; exit 1; }; \
+	echo "$$out"; \
+	echo "$$out" | grep '^Benchmark' | jq -R . | jq -sc \
+		--arg date "$$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+		--arg commit "$$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+		'{date: $$date, commit: $$commit, bench: .}' >> BENCH_mbf.json
+
+## Regression gate: compares the freshest BENCH_*.json entry against the
+## previous one (in CI: this run vs the committed baseline) and fails on a
+## >20% ns/op regression in the gated hot paths.
+bench-gate:
+	$(GO) run ./cmd/benchgate -file BENCH_graph.json -match 'Dijkstra4096' -max 1.20
+	$(GO) run ./cmd/benchgate -file BENCH_mbf.json -match 'Iterate4096|SourceDetection4096' -max 1.20
+
 bench:
 	$(GO) test -bench . -benchmem ./...
 
-ci: vet fmt-check test-short test-race
+## ci is the exact step list the GitHub Actions test matrix runs (the
+## workflow invokes `make ci` so the two cannot drift).
+ci: vet fmt-check build test-short test-race

@@ -1,0 +1,155 @@
+// Command benchgate is the benchmark-regression gate of the bench CI
+// pipeline: it reads a BENCH_*.json trajectory (one JSON object per line,
+// as appended by `make bench-graph` / `make bench-mbf`, each with a `bench`
+// array of raw `go test -bench` lines), compares the newest entry against
+// the previous one, and exits non-zero when any selected benchmark's ns/op
+// regressed beyond the allowed ratio.
+//
+// Usage:
+//
+//	benchgate -file BENCH_mbf.json -match 'Iterate' -max 1.20
+//
+// In CI the checked-out file holds the committed baseline; the bench job
+// appends one fresh line before gating, so "last vs previous" is "this run
+// vs committed baseline". benchstat renders the human-readable comparison in
+// the job log; benchgate is the machine-checkable pass/fail.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+type record struct {
+	Date   string   `json:"date"`
+	Commit string   `json:"commit"`
+	Bench  []string `json:"bench"`
+}
+
+// parseBenchLines extracts name → ns/op from raw `go test -bench` output
+// lines. The trailing -N GOMAXPROCS suffix is stripped so runs from machines
+// with different core counts stay comparable.
+func parseBenchLines(lines []string) map[string]float64 {
+	out := make(map[string]float64)
+	re := regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op`)
+	for _, l := range lines {
+		m := re.FindStringSubmatch(l)
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		out[name] = ns
+	}
+	return out
+}
+
+// gate compares ns/op of the matched benchmarks and returns one line per
+// comparison plus the names that regressed beyond maxRatio. Benchmarks
+// present in only one run are reported but never fail the gate (they are
+// new or removed, not regressed).
+func gate(baseline, current map[string]float64, match *regexp.Regexp, maxRatio float64) (report []string, failed []string) {
+	for name, old := range baseline {
+		if !match.MatchString(name) {
+			continue
+		}
+		now, ok := current[name]
+		if !ok {
+			report = append(report, fmt.Sprintf("%-40s removed (baseline %.0f ns/op)", name, old))
+			continue
+		}
+		ratio := now / old
+		status := "ok"
+		if ratio > maxRatio {
+			status = "REGRESSED"
+			failed = append(failed, name)
+		}
+		report = append(report, fmt.Sprintf("%-40s %12.0f → %12.0f ns/op  (%.2fx)  %s", name, old, now, ratio, status))
+	}
+	for name := range current {
+		if match.MatchString(name) {
+			if _, ok := baseline[name]; !ok {
+				report = append(report, fmt.Sprintf("%-40s new (%.0f ns/op)", name, current[name]))
+			}
+		}
+	}
+	return report, failed
+}
+
+func readRecords(path string) ([]record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var recs []record
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var r record
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			return nil, fmt.Errorf("%s: bad JSON line: %w", path, err)
+		}
+		recs = append(recs, r)
+	}
+	return recs, sc.Err()
+}
+
+func main() {
+	file := flag.String("file", "", "BENCH_*.json trajectory (JSON lines)")
+	matchExpr := flag.String("match", ".", "regexp selecting the gated benchmarks")
+	maxRatio := flag.Float64("max", 1.20, "maximum allowed new/old ns-per-op ratio")
+	flag.Parse()
+	if *file == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -file is required")
+		os.Exit(2)
+	}
+	match, err := regexp.Compile(*matchExpr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: bad -match: %v\n", err)
+		os.Exit(2)
+	}
+	recs, err := readRecords(*file)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	if len(recs) < 2 {
+		fmt.Fprintf(os.Stderr, "benchgate: %s has %d entries; need a baseline and a fresh run (run `make bench-*` first)\n", *file, len(recs))
+		os.Exit(2)
+	}
+	base, cur := recs[len(recs)-2], recs[len(recs)-1]
+	fmt.Printf("benchgate %s: baseline %s (%s) vs current %s (%s), max ratio %.2f\n",
+		*file, base.Commit, base.Date, cur.Commit, cur.Date, *maxRatio)
+	report, failed := gate(parseBenchLines(base.Bench), parseBenchLines(cur.Bench), match, *maxRatio)
+	if len(report) == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: no benchmark matched %q in %s\n", *matchExpr, *file)
+		os.Exit(2)
+	}
+	for _, l := range report {
+		fmt.Println(l)
+	}
+	if len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: ns/op regression beyond %.2fx in: %s\n", *maxRatio, strings.Join(failed, ", "))
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: ok")
+}

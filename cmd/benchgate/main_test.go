@@ -1,0 +1,82 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchLines(t *testing.T) {
+	lines := []string{
+		"BenchmarkIterate4096         \t      38\t  33650869 ns/op\t 4857426 B/op\t    4099 allocs/op",
+		"BenchmarkDijkstra4096-8      \t    1081\t   1144411 ns/op\t  147536 B/op\t       7 allocs/op",
+		"ok  \tparmbf/internal/mbf\t6.376s",
+		"BenchmarkSub/trees=4-16      \t      10\t 158000000 ns/op",
+	}
+	got := parseBenchLines(lines)
+	want := map[string]float64{
+		"BenchmarkIterate4096":  33650869,
+		"BenchmarkDijkstra4096": 1144411,
+		"BenchmarkSub/trees=4":  158000000,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %v", len(got), len(want), got)
+	}
+	for name, ns := range want {
+		if got[name] != ns {
+			t.Errorf("%s = %v, want %v", name, got[name], ns)
+		}
+	}
+}
+
+func TestGate(t *testing.T) {
+	base := map[string]float64{
+		"BenchmarkIterate4096":  100,
+		"BenchmarkDijkstra4096": 200,
+		"BenchmarkRemoved":      50,
+		"BenchmarkUnrelated":    10,
+	}
+	cur := map[string]float64{
+		"BenchmarkIterate4096":  115, // +15%: within the 20% budget
+		"BenchmarkDijkstra4096": 260, // +30%: regressed
+		"BenchmarkNew":          42,
+		"BenchmarkUnrelated":    1000, // regressed but not matched
+	}
+	match := regexp.MustCompile(`Iterate|Dijkstra|Removed|New`)
+	report, failed := gate(base, cur, match, 1.20)
+	if len(failed) != 1 || failed[0] != "BenchmarkDijkstra4096" {
+		t.Fatalf("failed = %v, want only BenchmarkDijkstra4096", failed)
+	}
+	joined := strings.Join(report, "\n")
+	for _, want := range []string{"REGRESSED", "removed", "new", "BenchmarkIterate4096"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("report missing %q:\n%s", want, joined)
+		}
+	}
+	if strings.Contains(joined, "Unrelated") {
+		t.Errorf("report includes unmatched benchmark:\n%s", joined)
+	}
+}
+
+func TestReadRecords(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_test.json")
+	content := `{"date":"2026-07-29T00:00:00Z","commit":"abc","bench":["BenchmarkX \t 10\t 100 ns/op"]}
+{"date":"2026-07-30T00:00:00Z","commit":"def","bench":["BenchmarkX \t 10\t 90 ns/op"]}
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := readRecords(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Commit != "abc" || recs[1].Commit != "def" {
+		t.Fatalf("records = %+v", recs)
+	}
+	if len(recs[1].Bench) != 1 {
+		t.Fatalf("bench lines = %v", recs[1].Bench)
+	}
+}

@@ -109,6 +109,24 @@ func BenchmarkEnsembleShared(b *testing.B) {
 	}
 }
 
+// BenchmarkEmbedderSample measures one oracle-pipeline tree draw on a warm
+// Embedder (hop set and H already built) — the per-tree cost that the
+// aggregation fast path accelerates.
+func BenchmarkEmbedderSample(b *testing.B) {
+	g := graph.RandomConnected(128, 512, 8, par.NewRNG(6))
+	e, err := NewEmbedder(g, Options{RNG: par.NewRNG(42)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Sample(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkTreeDist(b *testing.B) {
 	rng := par.NewRNG(5)
 	g := graph.RandomConnected(512, 2048, 8, rng)

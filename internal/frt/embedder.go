@@ -23,11 +23,10 @@ import (
 // The Embedder's own methods are not safe for concurrent use (they advance
 // the embedder's RNG); a single SampleEnsemble call parallelises internally.
 type Embedder struct {
-	g      *graph.Graph
-	opts   Options
-	hop    *hopset.Result
-	h      *simgraph.H
-	oracle *simgraph.Oracle
+	g    *graph.Graph
+	opts Options
+	hop  *hopset.Result
+	h    *simgraph.H
 }
 
 // NewEmbedder validates opts, consumes randomness from opts.RNG for the
@@ -60,13 +59,7 @@ func NewEmbedder(g *graph.Graph, opts Options) (*Embedder, error) {
 	}
 
 	h := simgraph.Build(hs, opts.EpsHat, opts.RNG)
-	return &Embedder{
-		g:      g,
-		opts:   opts,
-		hop:    hs,
-		h:      h,
-		oracle: simgraph.NewOracle(h, opts.Tracker),
-	}, nil
+	return &Embedder{g: g, opts: opts, hop: hs, h: h}, nil
 }
 
 // H returns the shared simulated graph.
@@ -81,13 +74,12 @@ func (e *Embedder) sampleWith(rng *par.RNG, tracker *par.Tracker) (*Embedding, e
 	n := e.g.N()
 	order := NewOrder(n, rng)
 	beta := RandomBeta(rng)
-	oracle := e.oracle
-	if tracker != e.opts.Tracker {
-		// Ensemble sampling charges a private per-tree tracker (so the shared
-		// tracker can record max-depth, not summed depth); bind a fresh
-		// oracle to it. The oracle is two words — only H is shared state.
-		oracle = simgraph.NewOracle(e.h, tracker)
-	}
+	// Each sample binds a fresh oracle: to its own tracker (ensemble
+	// sampling charges a private per-tree tracker so the shared tracker can
+	// record max-depth, not summed depth) and to this order's in-place
+	// filter for the aggregation fast path. Only H is shared state.
+	oracle := simgraph.NewOracle(e.h, tracker)
+	oracle.FilterInPlace = order.FilterInPlace()
 	lists, iters := oracle.RunToFixpoint(InitialStates(n), order.Filter(), simgraph.MaxIters(n))
 	tree, err := BuildTree(lists, order, beta)
 	if err != nil {

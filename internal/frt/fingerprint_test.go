@@ -1,0 +1,86 @@
+package frt
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"testing"
+
+	"parmbf/internal/graph"
+	"parmbf/internal/par"
+)
+
+// fingerprintConfigs are the fixed-seed workloads whose serialised ensembles
+// are pinned below. They cover the three hop-set pipelines so a change to
+// any stage of the sampling pipeline shows up in at least one fingerprint.
+var fingerprintConfigs = []struct {
+	name            string
+	n, m            int
+	graphSeed, seed uint64
+	trees           int
+	opts            func(rng *par.RNG) Options
+}{
+	{
+		name: "skeleton", n: 96, m: 320, graphSeed: 101, seed: 7, trees: 4,
+		opts: func(rng *par.RNG) Options { return Options{RNG: rng} },
+	},
+	{
+		name: "landmark", n: 80, m: 240, graphSeed: 202, seed: 11, trees: 3,
+		opts: func(rng *par.RNG) Options { return Options{RNG: rng, HopSet: HopSetLandmark} },
+	},
+	{
+		name: "none", n: 64, m: 192, graphSeed: 303, seed: 13, trees: 5,
+		opts: func(rng *par.RNG) Options { return Options{RNG: rng, HopSet: HopSetNone} },
+	},
+}
+
+// ensembleFingerprints are the fnv64a hashes of the serialised fixed-seed
+// ensembles, recorded before the aggregation fast path landed. Engine
+// optimisations (CSR core, k-way aggregation, in-place filters, …) must
+// keep these byte-identical; only a deliberate change to the sampling
+// pipeline's semantics may update them.
+var ensembleFingerprints = map[string]string{
+	"skeleton": "337cc6a8adc9507b",
+	"landmark": "657e41b69018b746",
+	"none":     "3247f3f8889a2157",
+}
+
+func ensembleFingerprint(t *testing.T, cfgIdx int) string {
+	t.Helper()
+	cfg := fingerprintConfigs[cfgIdx]
+	g := graph.RandomConnected(cfg.n, cfg.m, 8, par.NewRNG(cfg.graphSeed))
+	e, err := NewEmbedder(g, cfg.opts(par.NewRNG(cfg.seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ens, err := e.SampleEnsemble(cfg.trees)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for _, tr := range ens.Trees {
+		if err := WriteTree(&buf, tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h := fnv.New64a()
+	h.Write(buf.Bytes())
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// TestEnsembleFingerprints is the cross-PR determinism contract: fixed-seed
+// ensembles must remain byte-identical across engine rewrites (the same
+// contract PR 2 asserted by hand with an ad-hoc fnv64 harness; this commits
+// the harness). A mismatch means an optimisation changed observable output.
+func TestEnsembleFingerprints(t *testing.T) {
+	for i, cfg := range fingerprintConfigs {
+		t.Run(cfg.name, func(t *testing.T) {
+			got := ensembleFingerprint(t, i)
+			want := ensembleFingerprints[cfg.name]
+			if got != want {
+				t.Fatalf("ensemble fingerprint for %q = %s, pinned %s; "+
+					"fixed-seed output changed", cfg.name, got, want)
+			}
+		})
+	}
+}

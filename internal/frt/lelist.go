@@ -8,6 +8,8 @@
 package frt
 
 import (
+	"cmp"
+	"slices"
 	"sort"
 
 	"parmbf/internal/graph"
@@ -57,6 +59,22 @@ func (o *Order) MinNode() graph.Node {
 // decreasing ranks; their count is O(log n) w.h.p. for any input that does
 // not depend on the random order (Lemma 7.6).
 func (o *Order) Filter() semiring.Filter[semiring.DistMap] {
+	inPlace := o.FilterInPlace()
+	return func(x semiring.DistMap) semiring.DistMap {
+		return inPlace(x.Clone())
+	}
+}
+
+// FilterInPlace is Filter for caller-owned values: it sorts and compacts the
+// surviving entries inside x's backing array, allocating nothing. The engine
+// applies it to the freshly merged output of the aggregation fast path; it
+// must never be used on shared DistMap values (see the type's aliasing
+// contract in internal/semiring).
+//
+// Both variants compute the same representative: the survivor set is
+// uniquely determined (ranks are distinct, so the (distance, rank) sort key
+// has no ties), and the result is re-sorted by node ID.
+func (o *Order) FilterInPlace() semiring.Filter[semiring.DistMap] {
 	rank := o.Rank
 	return func(x semiring.DistMap) semiring.DistMap {
 		if len(x) == 0 {
@@ -64,24 +82,22 @@ func (o *Order) Filter() semiring.Filter[semiring.DistMap] {
 		}
 		// Sort by (distance, rank): a sweep then keeps exactly the entries
 		// that no earlier entry dominates.
-		cands := x.Clone()
-		sort.Slice(cands, func(i, j int) bool {
-			if cands[i].Dist != cands[j].Dist {
-				return cands[i].Dist < cands[j].Dist
+		slices.SortFunc(x, func(a, b semiring.Entry) int {
+			if a.Dist != b.Dist {
+				return cmp.Compare(a.Dist, b.Dist)
 			}
-			return rank[cands[i].Node] < rank[cands[j].Node]
+			return cmp.Compare(rank[a.Node], rank[b.Node])
 		})
-		kept := cands[:0]
+		kept := x[:0]
 		best := ^uint64(0)
-		for _, e := range cands {
+		for _, e := range x {
 			if rank[e.Node] < best {
 				best = rank[e.Node]
 				kept = append(kept, e)
 			}
 		}
-		out := semiring.DistMap(kept).Clone()
-		sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
-		return out
+		slices.SortFunc(kept, func(a, b semiring.Entry) int { return cmp.Compare(a.Node, b.Node) })
+		return kept
 	}
 }
 
@@ -111,12 +127,13 @@ func InitialStates(n int) []semiring.DistMap {
 // iterations until the fixpoint.
 func LEListsOnGraph(g *graph.Graph, order *Order, tracker *par.Tracker) ([]semiring.DistMap, int) {
 	runner := &mbf.Runner[float64, semiring.DistMap]{
-		Graph:   g,
-		Module:  semiring.DistMapModule{},
-		Filter:  order.Filter(),
-		Weight:  mbf.MinPlusWeight,
-		Size:    func(m semiring.DistMap) int { return len(m) + 1 },
-		Tracker: tracker,
+		Graph:         g,
+		Module:        semiring.DistMapModule{},
+		Filter:        order.Filter(),
+		FilterInPlace: order.FilterInPlace(),
+		Weight:        mbf.MinPlusWeight,
+		Size:          func(m semiring.DistMap) int { return len(m) + 1 },
+		Tracker:       tracker,
 	}
 	return runner.RunToFixpoint(InitialStates(g.N()), g.N())
 }

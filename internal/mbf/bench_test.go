@@ -5,7 +5,68 @@ import (
 
 	"parmbf/internal/graph"
 	"parmbf/internal/par"
+	"parmbf/internal/semiring"
 )
+
+// iterateBench builds the DistMap source-detection workload of the
+// aggregation benchmarks at n=4096: k=8 states warmed to their filtered
+// fixpoint shape, so each measured Iterate sees realistic list sizes.
+func iterateBench(generic bool) (*Runner[float64, semiring.DistMap], []semiring.DistMap) {
+	g := graph.RandomConnected(4096, 16384, 8, par.NewRNG(7))
+	r := &Runner[float64, semiring.DistMap]{
+		Graph:         g,
+		Module:        semiring.DistMapModule{},
+		Filter:        semiring.TopKFilter(8, semiring.Inf, nil),
+		FilterInPlace: semiring.TopKFilterInPlace(8, semiring.Inf, nil),
+		Weight:        MinPlusWeight,
+	}
+	if generic {
+		r.Module = foldOnly[float64, semiring.DistMap]{semiring.DistMapModule{}}
+		r.FilterInPlace = nil
+	}
+	x := make([]semiring.DistMap, g.N())
+	for v := range x {
+		x[v] = semiring.DistMap{{Node: graph.Node(v), Dist: 0}}
+	}
+	for i := 0; i < 4; i++ {
+		x = r.Iterate(x)
+	}
+	return r, x
+}
+
+// BenchmarkIterate4096 measures one MBF-like iteration over the DistMap
+// semimodule with the k-way aggregation fast path (one allocation per node).
+func BenchmarkIterate4096(b *testing.B) {
+	r, x := iterateBench(false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Iterate(x)
+	}
+}
+
+// BenchmarkIterateGeneric4096 is the same workload through the generic
+// Add/SMul fold — the pre-fast-path baseline the regression gate compares
+// against.
+func BenchmarkIterateGeneric4096(b *testing.B) {
+	r, x := iterateBench(true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Iterate(x)
+	}
+}
+
+// BenchmarkSourceDetection4096 measures the whole Example 3.2 algorithm at
+// n=4096: 8 iterations of k=8 source detection, end to end.
+func BenchmarkSourceDetection4096(b *testing.B) {
+	g := graph.RandomConnected(4096, 16384, 8, par.NewRNG(8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SourceDetection(g, nil, 8, semiring.Inf, 8, nil)
+	}
+}
 
 func BenchmarkSSSPIteration(b *testing.B) {
 	g := graph.RandomConnected(1024, 4096, 8, par.NewRNG(1))

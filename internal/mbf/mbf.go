@@ -18,6 +18,8 @@
 package mbf
 
 import (
+	"sync"
+
 	"parmbf/internal/graph"
 	"parmbf/internal/par"
 	"parmbf/internal/semiring"
@@ -37,6 +39,13 @@ type Runner[S, M any] struct {
 	Module semiring.Semimodule[S, M]
 	// Filter is the representative projection r. Nil means the identity.
 	Filter semiring.Filter[M]
+	// FilterInPlace, if non-nil, must compute the same function as Filter
+	// but may reuse its argument's storage. The engine applies it only to
+	// values it owns exclusively — the freshly merged output of the
+	// Aggregator fast path — saving the copy a pure Filter would make.
+	// Callers that set it must also set Filter (the generic path and the
+	// initial-state projection still go through Filter).
+	FilterInPlace semiring.Filter[M]
 	// Weight translates the arc from→to of weight w into a_{from,to} ∈ S.
 	Weight func(from, to graph.Node, w float64) S
 	// Size measures the representation size of a node state (e.g. the
@@ -46,6 +55,17 @@ type Runner[S, M any] struct {
 	// Tracker, if non-nil, is charged the work/depth of every iteration in
 	// the DAG cost model of §1.2.
 	Tracker *par.Tracker
+
+	// scratch recycles per-worker buffers of the aggregation fast path, so
+	// steady-state iterations allocate only the output states.
+	scratch sync.Pool // *iterScratch[S, M]
+}
+
+// iterScratch is one worker's reusable aggregation state: the term buffer
+// handed to Aggregate plus the module's k-way-merge scratch.
+type iterScratch[S, M any] struct {
+	terms []semiring.Term[S, M]
+	sc    semiring.Scratch
 }
 
 func (r *Runner[S, M]) size(x M) int {
@@ -62,8 +82,24 @@ func (r *Runner[S, M]) filter(x M) M {
 	return r.Filter(x)
 }
 
+// filterOwned filters a value the engine owns exclusively, preferring the
+// in-place variant when the caller provided one.
+func (r *Runner[S, M]) filterOwned(x M) M {
+	if r.FilterInPlace != nil {
+		return r.FilterInPlace(x)
+	}
+	return r.filter(x)
+}
+
 // Iterate performs one MBF-like iteration x ↦ r^V(Ax), parallelised over
 // nodes. The input is not modified.
+//
+// When the module implements semiring.Aggregator, each node's neighborhood
+// is aggregated in one k-way merge over pooled scratch buffers — the
+// Lemma 2.3 fast path, which allocates only the merged result — and the
+// (identical) in-place filter is applied to it when available. Otherwise the
+// generic Add/SMul fold of Definition 2.11 runs; both paths compute the same
+// states.
 func (r *Runner[S, M]) Iterate(x []M) []M {
 	g := r.Graph
 	n := g.N()
@@ -75,8 +111,39 @@ func (r *Runner[S, M]) Iterate(x []M) []M {
 	if r.Tracker != nil {
 		workPerNode = make([]int64, n)
 	}
+	agg, fast := r.Module.(semiring.Aggregator[S, M])
 	par.ForEach(n, func(vi int) {
 		v := graph.Node(vi)
+		if fast {
+			st, _ := r.scratch.Get().(*iterScratch[S, M])
+			if st == nil {
+				st = new(iterScratch[S, M])
+			}
+			terms := st.terms[:0]
+			for _, a := range g.Neighbors(v) {
+				terms = append(terms, semiring.Term[S, M]{S: r.Weight(v, a.To, a.Weight), X: x[a.To]})
+			}
+			acc := agg.Aggregate(&st.sc, x[vi], terms)
+			out[vi] = r.filterOwned(acc)
+			if workPerNode != nil {
+				// Charge the same quantities as the generic path: every
+				// propagated state (its size approximated by the input
+				// state's — exact for the shift-style algebras), the node's
+				// own state, and the filtered output.
+				work := int64(r.size(x[vi]))
+				for _, t := range terms {
+					work += int64(r.size(t.X))
+				}
+				workPerNode[vi] = work + int64(r.size(out[vi]))
+			}
+			var zero semiring.Term[S, M]
+			for i := range terms {
+				terms[i] = zero // drop state references before pooling
+			}
+			st.terms = terms[:0]
+			r.scratch.Put(st)
+			return
+		}
 		// Diagonal term: a_{vv} = 1, so the node keeps its own state.
 		acc := x[vi]
 		work := int64(r.size(acc))

@@ -1,0 +1,242 @@
+package semiring
+
+// Differential and ownership tests for the Aggregator fast path: Aggregate
+// must equal the Add/SMul fold exactly, must not mutate its inputs, and must
+// return a value that shares no storage with them — the contract the engine
+// relies on when it applies in-place filters to merged results.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randDistMap(rng *rand.Rand, n int) DistMap {
+	var out DistMap
+	for v := 0; v < n; v++ {
+		if rng.Intn(3) == 0 {
+			out = append(out, Entry{Node: NodeID(v), Dist: float64(rng.Intn(50)) / 2})
+		}
+	}
+	return out
+}
+
+func randWidthMap(rng *rand.Rand, n int) WidthMap {
+	var out WidthMap
+	for v := 0; v < n; v++ {
+		if rng.Intn(3) == 0 {
+			out = append(out, WidthEntry{Node: NodeID(v), Width: 0.5 + float64(rng.Intn(40))/2})
+		}
+	}
+	return out
+}
+
+func randNodeSet(rng *rand.Rand, n int) []NodeID {
+	var out []NodeID
+	for v := 0; v < n; v++ {
+		if rng.Intn(3) == 0 {
+			out = append(out, NodeID(v))
+		}
+	}
+	return out
+}
+
+// foldDist is the generic-path reference: the left fold of Definition 2.11.
+func foldDist(self DistMap, terms []Term[float64, DistMap]) DistMap {
+	var mod DistMapModule
+	acc := self
+	for _, t := range terms {
+		acc = mod.Add(acc, mod.SMul(t.S, t.X))
+	}
+	return acc
+}
+
+func TestAggregateDistMapMatchesFold(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var mod DistMapModule
+	var sc Scratch // deliberately shared across rounds: reuse must be safe
+	for round := 0; round < 500; round++ {
+		self := randDistMap(rng, 24)
+		terms := make([]Term[float64, DistMap], rng.Intn(7))
+		for i := range terms {
+			s := float64(rng.Intn(6)) // includes 0, the scalar identity
+			if rng.Intn(8) == 0 {
+				s = Inf // dead edge
+			}
+			terms[i] = Term[float64, DistMap]{S: s, X: randDistMap(rng, 24)}
+		}
+		want := foldDist(self, terms)
+		got := mod.Aggregate(&sc, self, terms)
+		if !mod.Equal(got, want) {
+			t.Fatalf("round %d: Aggregate %v != fold %v (self %v)", round, got, want, self)
+		}
+	}
+}
+
+func TestAggregateWidthMapMatchesFold(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var mod WidthMapModule
+	var sc Scratch
+	for round := 0; round < 500; round++ {
+		self := randWidthMap(rng, 24)
+		terms := make([]Term[float64, WidthMap], rng.Intn(7))
+		for i := range terms {
+			s := float64(rng.Intn(6)) / 2 // includes 0, the annihilator
+			if rng.Intn(8) == 0 {
+				s = Inf // infinite-width edge: the scalar identity
+			}
+			terms[i] = Term[float64, WidthMap]{S: s, X: randWidthMap(rng, 24)}
+		}
+		acc := self
+		for _, tm := range terms {
+			acc = mod.Add(acc, mod.SMul(tm.S, tm.X))
+		}
+		got := mod.Aggregate(&sc, self, terms)
+		if !mod.Equal(got, acc) {
+			t.Fatalf("round %d: Aggregate %v != fold %v", round, got, acc)
+		}
+	}
+}
+
+func TestAggregateBoolSetMatchesFold(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var mod BoolSet
+	var sc Scratch
+	for round := 0; round < 500; round++ {
+		self := randNodeSet(rng, 24)
+		terms := make([]Term[bool, []NodeID], rng.Intn(7))
+		for i := range terms {
+			terms[i] = Term[bool, []NodeID]{S: rng.Intn(4) > 0, X: randNodeSet(rng, 24)}
+		}
+		acc := self
+		for _, tm := range terms {
+			acc = mod.Add(acc, mod.SMul(tm.S, tm.X))
+		}
+		got := mod.Aggregate(&sc, self, terms)
+		if !mod.Equal(got, acc) {
+			t.Fatalf("round %d: Aggregate %v != fold %v", round, got, acc)
+		}
+	}
+}
+
+func TestAggregateScalarModulesMatchFold(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var mp MinPlusSelf
+	var mm MaxMinSelf
+	randVal := func() float64 {
+		if rng.Intn(6) == 0 {
+			return Inf
+		}
+		return float64(rng.Intn(30)) / 2
+	}
+	for round := 0; round < 500; round++ {
+		selfD, selfW := randVal(), float64(rng.Intn(20))
+		terms := make([]Term[float64, float64], rng.Intn(7))
+		accD, accW := selfD, selfW
+		for i := range terms {
+			terms[i] = Term[float64, float64]{S: randVal(), X: randVal()}
+			accD = mp.Add(accD, mp.SMul(terms[i].S, terms[i].X))
+			accW = mm.Add(accW, mm.SMul(terms[i].S, terms[i].X))
+		}
+		if got := mp.Aggregate(nil, selfD, terms); got != accD {
+			t.Fatalf("round %d: MinPlusSelf.Aggregate %v != fold %v", round, got, accD)
+		}
+		if got := mm.Aggregate(nil, selfW, terms); got != accW {
+			t.Fatalf("round %d: MaxMinSelf.Aggregate %v != fold %v", round, got, accW)
+		}
+	}
+}
+
+// TestAggregateOwnershipFuzz is the alias/mutation fuzz of the scratch-reuse
+// contract: Aggregate must leave every input byte-identical, and its result
+// must be mutable without corrupting any input — even when the same Scratch
+// is reused across calls, as the engine's per-worker pools do.
+func TestAggregateOwnershipFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var mod DistMapModule
+	var sc Scratch
+	for round := 0; round < 300; round++ {
+		self := randDistMap(rng, 32)
+		terms := make([]Term[float64, DistMap], 1+rng.Intn(6))
+		for i := range terms {
+			terms[i] = Term[float64, DistMap]{S: float64(rng.Intn(5)), X: randDistMap(rng, 32)}
+		}
+		selfCopy := self.Clone()
+		termCopies := make([]DistMap, len(terms))
+		for i, tm := range terms {
+			termCopies[i] = tm.X.Clone()
+		}
+
+		out := mod.Aggregate(&sc, self, terms)
+		// Scribble over the result: inputs must not see it.
+		for i := range out {
+			out[i] = Entry{Node: out[i].Node, Dist: -1}
+		}
+		if !mod.Equal(self, selfCopy) {
+			t.Fatalf("round %d: Aggregate (or mutating its result) changed self: %v != %v", round, self, selfCopy)
+		}
+		for i, tm := range terms {
+			if !mod.Equal(tm.X, termCopies[i]) {
+				t.Fatalf("round %d: Aggregate (or mutating its result) changed term %d: %v != %v", round, i, tm.X, termCopies[i])
+			}
+		}
+	}
+}
+
+// TestDistMapSafeAliasing pins the documented safe-aliasing contract: the
+// identity cases of SMul and Add return their input unchanged (aliased), so
+// the algebra's outputs must be treated as immutable. The mutation-detection
+// half asserts that the non-identity operations never write to their inputs.
+func TestDistMapSafeAliasing(t *testing.T) {
+	var mod DistMapModule
+	x := DistMap{{Node: 1, Dist: 2}, {Node: 5, Dist: 0.5}}
+
+	// s == 0 is the scalar identity: the input itself comes back.
+	y := mod.SMul(0, x)
+	if &y[0] != &x[0] {
+		t.Fatal("SMul(0, x) no longer aliases x; update the documented contract")
+	}
+	// Add with an empty side returns the other side aliased.
+	if z := mod.Add(nil, x); &z[0] != &x[0] {
+		t.Fatal("Add(⊥, x) no longer aliases x; update the documented contract")
+	}
+
+	// Mutation detection: shifting, merging, and filtering leave x intact.
+	before := x.Clone()
+	_ = mod.SMul(3, x)
+	_ = mod.Add(x, DistMap{{Node: 0, Dist: 1}, {Node: 5, Dist: 0.25}})
+	_ = TopKFilter(1, Inf, nil)(x)
+	if !mod.Equal(x, before) {
+		t.Fatalf("algebra operation mutated its input: %v != %v", x, before)
+	}
+
+	// SMulInPlace is the explicit opt-out: it writes through x.
+	owned := x.Clone()
+	shifted := mod.SMulInPlace(2, owned)
+	if &shifted[0] != &owned[0] {
+		t.Fatal("SMulInPlace allocated; it must reuse the caller's storage")
+	}
+	for i, e := range shifted {
+		if e.Dist != x[i].Dist+2 {
+			t.Fatalf("SMulInPlace entry %d = %v, want dist %v", i, e, x[i].Dist+2)
+		}
+	}
+}
+
+// TestTopKFilterInPlaceMatchesTopKFilter pins the two filter variants to the
+// same function; the in-place one additionally reuses the input's storage.
+func TestTopKFilterInPlaceMatchesTopKFilter(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	sources := func(v NodeID) bool { return v%3 != 2 }
+	for round := 0; round < 300; round++ {
+		k := rng.Intn(5) // includes 0: unbounded
+		maxDist := float64(rng.Intn(20))
+		x := randDistMap(rng, 32)
+		pure := TopKFilter(k, maxDist, sources)
+		inPlace := TopKFilterInPlace(k, maxDist, sources)
+		want := pure(x)
+		got := inPlace(x.Clone())
+		if !(DistMapModule{}).Equal(got, want) {
+			t.Fatalf("round %d (k=%d, maxDist=%v): in-place %v != pure %v", round, k, maxDist, got, want)
+		}
+	}
+}

@@ -1,7 +1,9 @@
 package semiring
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 
@@ -20,9 +22,16 @@ type Entry struct {
 // Absent nodes implicitly hold ∞. The zero element ⊥ = (∞, …, ∞)ᵀ is the
 // empty map.
 //
-// DistMap values are treated as immutable by the algebra: operations return
-// fresh slices and never alias their inputs' backing arrays in a way that
-// allows later mutation to be observed.
+// DistMap values are shared, immutable values under the algebra's
+// safe-aliasing contract: operations never mutate their inputs, but they MAY
+// return an input unchanged (aliased) when the operation is an identity on
+// it — Add with an empty side returns the other side, SMul with s == 0
+// returns x. Callers must therefore never mutate a DistMap after handing it
+// to (or receiving it from) the algebra or the engine; code that owns a
+// value exclusively and wants to recycle its storage uses the explicitly
+// in-place variants (SMulInPlace, TopKFilterInPlace, Order.FilterInPlace in
+// internal/frt), which are the only operations allowed to write to their
+// argument.
 type DistMap []Entry
 
 // DistMapModule implements the zero-preserving semimodule D over the
@@ -67,7 +76,9 @@ func (DistMapModule) Add(x, y DistMap) DistMap {
 
 // SMul returns s ⊙ x (Equation 2.7): every stored distance is increased by
 // s. Multiplying by ∞ yields ⊥ (Equation 2.2): information does not survive
-// propagation over a non-edge.
+// propagation over a non-edge. s == 0 is the scalar identity and returns x
+// itself — safe under the aliasing contract of DistMap (values are immutable
+// once shared), and pinned by TestDistMapSafeAliasing.
 func (DistMapModule) SMul(s float64, x DistMap) DistMap {
 	if IsInf(s) || len(x) == 0 {
 		return nil
@@ -79,6 +90,66 @@ func (DistMapModule) SMul(s float64, x DistMap) DistMap {
 	for i, e := range x {
 		out[i] = Entry{Node: e.Node, Dist: e.Dist + s}
 	}
+	return out
+}
+
+// SMulInPlace is SMul for caller-owned values: it shifts the stored
+// distances inside x's backing array and returns the (possibly nil) result.
+// It must only be applied to a DistMap the caller owns exclusively — never
+// to a value that was handed to or received from the algebra or the engine,
+// whose sharing discipline treats values as immutable.
+func (DistMapModule) SMulInPlace(s float64, x DistMap) DistMap {
+	if IsInf(s) || len(x) == 0 {
+		return nil
+	}
+	if s == 0 {
+		return x
+	}
+	for i := range x {
+		x[i].Dist += s
+	}
+	return x
+}
+
+// Aggregate implements the Aggregator fast path: the k-way aggregation of
+// Lemma 2.3, merging self and every propagated neighbor list in one pass
+// (min per node ID, shifts applied on the fly) instead of folding Add/SMul.
+// Dead terms (s = ∞ or ⊥ states) are skipped; the result is freshly
+// allocated and never aliases an input, so callers may filter it in place.
+func (DistMapModule) Aggregate(sc *Scratch, self DistMap, terms []Term[float64, DistMap]) DistMap {
+	lists := sc.dist[:0]
+	shifts := sc.shifts[:0]
+	total := 0
+	if len(self) > 0 {
+		lists = append(lists, self)
+		shifts = append(shifts, 0)
+		total += len(self)
+	}
+	for _, t := range terms {
+		if IsInf(t.S) || len(t.X) == 0 {
+			continue
+		}
+		lists = append(lists, t.X)
+		shifts = append(shifts, t.S)
+		total += len(t.X)
+	}
+	var out DistMap
+	if total > 0 {
+		out = make(DistMap, 0, total)
+		mergeSorted(sc, lists, func(e Entry) NodeID { return e.Node },
+			func(li int32, e Entry, first bool) {
+				d := e.Dist + shifts[li]
+				if first {
+					out = append(out, Entry{Node: e.Node, Dist: d})
+				} else if d < out[len(out)-1].Dist {
+					out[len(out)-1].Dist = d
+				}
+			})
+	}
+	for i := range lists {
+		lists[i] = nil // release state references so pooled scratch cannot pin them
+	}
+	sc.dist, sc.shifts = lists[:0], shifts[:0]
 	return out
 }
 
@@ -98,7 +169,7 @@ func (DistMapModule) Equal(x, y DistMap) bool {
 	return true
 }
 
-var _ Semimodule[float64, DistMap] = DistMapModule{}
+var _ Aggregator[float64, DistMap] = DistMapModule{}
 
 // Get returns the distance stored for node v, or ∞ if absent.
 func (x DistMap) Get(v NodeID) float64 {
@@ -206,7 +277,8 @@ func (x DistMap) String() string {
 // TopKFilter returns the representative projection of source detection
 // (Example 3.2): keep only entries whose node is in sources (nil means all
 // nodes), whose distance is at most maxDist, and which are among the k
-// smallest entries (ties broken by node ID). k ≤ 0 means unbounded.
+// smallest entries (ties broken by node ID). k ≤ 0 means unbounded. The
+// input is left untouched; the result never shares storage with it.
 func TopKFilter(k int, maxDist float64, sources func(NodeID) bool) Filter[DistMap] {
 	return func(x DistMap) DistMap {
 		kept := make(DistMap, 0, len(x))
@@ -215,19 +287,42 @@ func TopKFilter(k int, maxDist float64, sources func(NodeID) bool) Filter[DistMa
 				kept = append(kept, e)
 			}
 		}
-		if k > 0 && len(kept) > k {
-			sort.Slice(kept, func(i, j int) bool {
-				if kept[i].Dist != kept[j].Dist {
-					return kept[i].Dist < kept[j].Dist
-				}
-				return kept[i].Node < kept[j].Node
-			})
-			kept = kept[:k]
-			sort.Slice(kept, func(i, j int) bool { return kept[i].Node < kept[j].Node })
-		}
-		if len(kept) == 0 {
-			return nil
-		}
-		return kept
+		return topKTruncate(kept, k)
 	}
+}
+
+// TopKFilterInPlace is TopKFilter for caller-owned values: it compacts the
+// surviving entries into x's backing array and returns the truncated slice,
+// allocating nothing. The engine applies it to the freshly merged output of
+// the aggregation fast path; it must never be used on shared DistMap values
+// (see the type's aliasing contract).
+func TopKFilterInPlace(k int, maxDist float64, sources func(NodeID) bool) Filter[DistMap] {
+	return func(x DistMap) DistMap {
+		kept := x[:0]
+		for _, e := range x {
+			if e.Dist <= maxDist && (sources == nil || sources(e.Node)) {
+				kept = append(kept, e)
+			}
+		}
+		return topKTruncate(kept, k)
+	}
+}
+
+// topKTruncate reduces kept (sorted by node ID) to its k smallest entries by
+// (distance, node), restoring node order afterwards. It sorts in place.
+func topKTruncate(kept DistMap, k int) DistMap {
+	if k > 0 && len(kept) > k {
+		slices.SortFunc(kept, func(a, b Entry) int {
+			if a.Dist != b.Dist {
+				return cmp.Compare(a.Dist, b.Dist)
+			}
+			return cmp.Compare(a.Node, b.Node)
+		})
+		kept = kept[:k]
+		slices.SortFunc(kept, func(a, b Entry) int { return cmp.Compare(a.Node, b.Node) })
+	}
+	if len(kept) == 0 {
+		return nil
+	}
+	return kept
 }

@@ -47,7 +47,23 @@ func (MaxMinSelf) Zero() float64 { return 0 }
 // Equal reports x == y.
 func (MaxMinSelf) Equal(x, y float64) bool { return x == y }
 
+// Aggregate implements the Aggregator fast path: max over the edge-capped
+// neighbor widths, in one scan with no intermediate values.
+func (MaxMinSelf) Aggregate(_ *Scratch, self float64, terms []Term[float64, float64]) float64 {
+	acc := self
+	for _, t := range terms {
+		v := t.X
+		if t.S < v {
+			v = t.S
+		}
+		if v > acc {
+			acc = v
+		}
+	}
+	return acc
+}
+
 var (
 	_ Semiring[float64]            = MaxMin{}
-	_ Semimodule[float64, float64] = MaxMinSelf{}
+	_ Aggregator[float64, float64] = MaxMinSelf{}
 )

@@ -54,7 +54,19 @@ func (MinPlusSelf) Zero() float64 { return Inf }
 // Equal reports x == y.
 func (MinPlusSelf) Equal(x, y float64) bool { return x == y }
 
+// Aggregate implements the Aggregator fast path: min over the shifted
+// neighbor distances, in one scan with no intermediate values.
+func (MinPlusSelf) Aggregate(_ *Scratch, self float64, terms []Term[float64, float64]) float64 {
+	acc := self
+	for _, t := range terms {
+		if v := t.S + t.X; v < acc {
+			acc = v
+		}
+	}
+	return acc
+}
+
 var (
 	_ Semiring[float64]            = MinPlus{}
-	_ Semimodule[float64, float64] = MinPlusSelf{}
+	_ Aggregator[float64, float64] = MinPlusSelf{}
 )

@@ -19,6 +19,21 @@
 // algebras used by the paper (min-plus §3.1, max-min §3.2, all-paths §3.3,
 // Boolean §3.4), the sparse distance-map semimodule D of Definition 2.1, and
 // law-checking helpers used by the property-based tests.
+//
+// # Aggregation fast path
+//
+// A semimodule may additionally implement Aggregator, the k-way aggregation
+// of Lemma 2.3: the engine then hands it a node's whole neighborhood at once
+// and the module computes x(v) ⊕ ⊕_w a_{vw} ⊙ x(w) as one merge, allocating
+// only the result, instead of the generic Add/SMul fold that materialises
+// ~2·deg(v) intermediates per node. Implement Aggregator when states are
+// sorted entry lists (DistMap, WidthMap, the Boolean node sets) or scalars
+// (MinPlusSelf, MaxMinSelf) whose ⊕ is a positional merge — the payoff is
+// proportional to degree × state size. Rely on the generic fold when ⊕
+// combines values with heterogeneous keys or non-positional structure (the
+// all-paths PathSet, the next-hop RouteMap): the fold is the semantic
+// definition (Definition 2.11), and every Aggregate must be extensionally
+// equal to it (pinned by the differential tests in internal/mbf).
 package semiring
 
 // NodeID identifies a vertex. Graph code aliases this type; it lives here so

@@ -1,0 +1,32 @@
+package simgraph
+
+import (
+	"testing"
+
+	"parmbf/internal/graph"
+	"parmbf/internal/hopset"
+	"parmbf/internal/par"
+	"parmbf/internal/semiring"
+)
+
+// BenchmarkOracleIterate measures one simulated iteration on H (Equation
+// 5.9): Λ+1 levels of d filtered iterations on G′ plus the cross-level
+// k-way merge, over the distance-map semimodule with a top-8 filter.
+func BenchmarkOracleIterate(b *testing.B) {
+	g := graph.RandomConnected(256, 1024, 8, par.NewRNG(11))
+	hs := hopset.DefaultSkeleton(g, par.NewRNG(12), nil)
+	h := Build(hs, 0, par.NewRNG(13))
+	oracle := NewOracle(h, nil)
+	oracle.FilterInPlace = semiring.TopKFilterInPlace(8, semiring.Inf, nil)
+	filter := semiring.TopKFilter(8, semiring.Inf, nil)
+	x := make([]semiring.DistMap, g.N())
+	for v := range x {
+		x[v] = semiring.DistMap{{Node: graph.Node(v), Dist: 0}}
+	}
+	x = oracle.Run(x, filter, 1) // warm the states into their filtered shape
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		oracle.Iterate(x, filter)
+	}
+}

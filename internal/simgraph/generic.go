@@ -26,6 +26,11 @@ type GenericOracle[S, M any] struct {
 	H      *H
 	Module semiring.Semimodule[S, M]
 	Filter semiring.Filter[M]
+	// FilterInPlace, if non-nil, must compute the same function as Filter
+	// but may reuse its argument's storage; it is forwarded to the per-level
+	// runners, which apply it only on the aggregation fast path (see
+	// mbf.Runner.FilterInPlace).
+	FilterInPlace semiring.Filter[M]
 	// Weight converts a level-scaled graph edge weight into the A_λ entry
 	// for the arc from→to.
 	Weight  func(from, to graph.Node, scaled float64) S
@@ -64,9 +69,10 @@ func (o *GenericOracle[S, M]) Iterate(x []M) []M {
 	for lambda := 0; lambda <= h.Lambda; lambda++ {
 		scale := h.scale[lambda]
 		runner := &mbf.Runner[S, M]{
-			Graph:  gp,
-			Module: o.Module,
-			Filter: o.Filter,
+			Graph:         gp,
+			Module:        o.Module,
+			Filter:        o.Filter,
+			FilterInPlace: o.FilterInPlace,
 			Weight: func(from, to graph.Node, w float64) S {
 				return o.Weight(from, to, scale*w)
 			},

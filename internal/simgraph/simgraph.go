@@ -28,6 +28,7 @@ package simgraph
 
 import (
 	"math"
+	"sync"
 
 	"parmbf/internal/graph"
 	"parmbf/internal/hopset"
@@ -139,6 +140,23 @@ func (h *H) Materialize() *graph.Graph {
 type Oracle struct {
 	H       *H
 	Tracker *par.Tracker
+
+	// FilterInPlace, if non-nil, must compute the same function as the
+	// filter argument passed to Iterate/Run/RunToFixpoint but may reuse its
+	// argument's storage. It is applied only to values the oracle owns
+	// exclusively (freshly merged aggregation results), mirroring
+	// mbf.Runner.FilterInPlace.
+	FilterInPlace semiring.Filter[semiring.DistMap]
+
+	// scratch recycles the per-worker buffers of the cross-level merge of
+	// Equation 5.9.
+	scratch sync.Pool // *levelScratch
+}
+
+// levelScratch is one worker's reusable state for the ⊕_λ aggregation.
+type levelScratch struct {
+	terms []semiring.Term[float64, semiring.DistMap]
+	sc    semiring.Scratch
 }
 
 // NewOracle returns an oracle for H charging work/depth to tracker (which
@@ -176,11 +194,12 @@ func (o *Oracle) Iterate(x []semiring.DistMap, filter semiring.Filter[semiring.D
 	for lambda := 0; lambda <= h.Lambda; lambda++ {
 		scale := h.scale[lambda]
 		runner := &mbf.Runner[float64, semiring.DistMap]{
-			Graph:  gp,
-			Module: semiring.DistMapModule{},
-			Filter: filter,
-			Weight: func(_, _ graph.Node, w float64) float64 { return scale * w },
-			Size:   func(m semiring.DistMap) int { return len(m) + 1 },
+			Graph:         gp,
+			Module:        semiring.DistMapModule{},
+			Filter:        filter,
+			FilterInPlace: o.FilterInPlace,
+			Weight:        func(_, _ graph.Node, w float64) float64 { return scale * w },
+			Size:          func(m semiring.DistMap) int { return len(m) + 1 },
 			// Note: per-level runs are independent (they would execute in
 			// parallel in the PRAM formulation), so each charges its own
 			// work; the oracle charges the depth of the deepest level once.
@@ -196,13 +215,31 @@ func (o *Oracle) Iterate(x []semiring.DistMap, filter semiring.Filter[semiring.D
 		y, _ = runner.RunToFixpoint(y, h.Hop.D)
 		perLevel[lambda] = o.project(y, lambda)
 	}
+	// ⊕_λ: merge the per-level results node-wise with the k-way aggregation
+	// fast path (one fresh slice per node, pooled merge scratch) and filter
+	// the owned result in place when the caller provided the variant.
+	var agg semiring.DistMapModule
 	out := make([]semiring.DistMap, n)
 	par.ForEach(n, func(v int) {
-		parts := make([]semiring.DistMap, 0, h.Lambda+1)
-		for lambda := 0; lambda <= h.Lambda; lambda++ {
-			parts = append(parts, perLevel[lambda][v])
+		st, _ := o.scratch.Get().(*levelScratch)
+		if st == nil {
+			st = new(levelScratch)
 		}
-		out[v] = filter(semiring.MergeMin(parts...))
+		terms := st.terms[:0]
+		for lambda := 0; lambda <= h.Lambda; lambda++ {
+			terms = append(terms, semiring.Term[float64, semiring.DistMap]{X: perLevel[lambda][v]})
+		}
+		merged := agg.Aggregate(&st.sc, nil, terms)
+		if o.FilterInPlace != nil {
+			out[v] = o.FilterInPlace(merged)
+		} else {
+			out[v] = filter(merged)
+		}
+		for i := range terms {
+			terms[i] = semiring.Term[float64, semiring.DistMap]{}
+		}
+		st.terms = terms[:0]
+		o.scratch.Put(st)
 	})
 	return out
 }
