@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet fmt-check test test-short test-race bench bench-ensemble bench-graph bench-mbf bench-gate ci
+.PHONY: build vet fmt-check test test-short test-race fuzz-short cover bench bench-ensemble bench-graph bench-mbf bench-oracle bench-gate ci
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,22 @@ test-short:
 ## Race tier: the packages with internal parallelism, under the race detector.
 test-race:
 	$(GO) test -short -race . ./internal/frt/... ./internal/graph/... ./internal/mbf/... ./internal/par/... ./internal/semiring/... ./internal/simgraph/...
+
+## Brief fuzz tier: every fuzz target runs for a few seconds (CI smoke; for
+## a real fuzzing session raise -fuzztime).
+fuzz-short:
+	$(GO) test ./internal/frt/ -run xxx -fuzz FuzzReadTree -fuzztime 10s
+
+## Coverage floor: the short tier under -coverprofile must not drop below
+## COVER_MIN, the total measured at the PR-4 branch point. Raise the pin
+## when coverage grows; never lower it to make a PR pass.
+COVER_MIN ?= 79.2
+cover:
+	$(GO) test -short -covermode=atomic -coverprofile=coverage.out ./...
+	@total=$$($(GO) tool cover -func=coverage.out | tail -n 1 | awk '{print $$3}' | tr -d '%'); \
+	awk -v t="$$total" -v min="$(COVER_MIN)" 'BEGIN { \
+		if (t+0 < min+0) { printf "coverage %.1f%% dropped below pinned %.1f%%\n", t, min; exit 1 } \
+		printf "coverage %.1f%% (pinned minimum %.1f%%)\n", t, min }'
 
 ## Ensemble hot-path benchmarks: shared pipeline vs naive per-tree sampling.
 bench-ensemble:
@@ -50,12 +66,26 @@ bench-mbf:
 		--arg commit "$$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
 		'{date: $$date, commit: $$commit, bench: .}' >> BENCH_mbf.json
 
+## Oracle/serving benchmarks: the per-pair parent-walk path vs the batched
+## OracleIndex path on an n=4096, K=16 ensemble, plus index build cost;
+## each run appends one JSON line to BENCH_oracle.json. The acceptance bar
+## of the query subsystem is MinBatch ≥ 10× faster than the walk.
+bench-oracle:
+	@out="$$($(GO) test ./internal/frt/ -run xxx -bench 'OracleWalkMin4096|OracleIndexMinBatch4096|OracleIndexMedianBatch4096|OracleIndexBuild4096' -benchmem)" \
+		|| { echo "$$out"; echo "bench-oracle: go test failed"; exit 1; }; \
+	echo "$$out"; \
+	echo "$$out" | grep '^Benchmark' | jq -R . | jq -sc \
+		--arg date "$$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+		--arg commit "$$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+		'{date: $$date, commit: $$commit, bench: .}' >> BENCH_oracle.json
+
 ## Regression gate: compares the freshest BENCH_*.json entry against the
 ## previous one (in CI: this run vs the committed baseline) and fails on a
 ## >20% ns/op regression in the gated hot paths.
 bench-gate:
 	$(GO) run ./cmd/benchgate -file BENCH_graph.json -match 'Dijkstra4096' -max 1.20
 	$(GO) run ./cmd/benchgate -file BENCH_mbf.json -match 'Iterate4096|SourceDetection4096' -max 1.20
+	$(GO) run ./cmd/benchgate -file BENCH_oracle.json -match 'OracleIndexMinBatch4096' -max 1.20
 
 bench:
 	$(GO) test -bench . -benchmem ./...

@@ -1,0 +1,435 @@
+// Command parmbfd is the FRT distance-oracle server: it builds an Embedder
+// ensemble for a graph exactly once at startup (hop set → simulated graph H
+// → K concurrently sampled trees), preprocesses it into an
+// frt.OracleIndex, and then serves single and batched distance queries over
+// HTTP. Queries cost O(K·log depth) array lookups each and never touch the
+// graph again — the serving-side counterpart of the construction pipeline.
+//
+// Server:
+//
+//	parmbfd -addr :8337 -gen random -n 4096 -m 16384 -trees 16
+//	parmbfd -addr :8337 -in graph.txt -trees 8
+//
+// Endpoints:
+//
+//	GET  /healthz                       liveness
+//	GET  /stats                         graph/ensemble shape + query counters
+//	GET  /dist?u=4&v=9[&stat=median]    one estimate (default stat=min)
+//	POST /batch                         {"pairs":[[u,v],…],"stat":"min"}
+//	                                    → {"dists":[…]}
+//
+// Load-generating client (measures server-side batched throughput):
+//
+//	parmbfd -client -target http://localhost:8337 -requests 200 -batch 256 -concurrency 8
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"parmbf/internal/frt"
+	"parmbf/internal/graph"
+	"parmbf/internal/par"
+)
+
+// maxBatchPairs caps one /batch request: large enough to amortise, small
+// enough that a hostile request cannot make the server allocate without
+// bound.
+const maxBatchPairs = 1 << 16
+
+func main() {
+	var (
+		addr  = flag.String("addr", ":8337", "listen address (server mode)")
+		in    = flag.String("in", "", "read graph from file (edge-list format)")
+		gen   = flag.String("gen", "random", "generator: random | grid | path | cycle | geometric | lollipop | powerlaw")
+		n     = flag.Int("n", 4096, "generated graph size")
+		m     = flag.Int("m", 0, "generated edge count (random generator; default 4n)")
+		seed  = flag.Uint64("seed", 1, "random seed")
+		trees = flag.Int("trees", 16, "ensemble size K")
+
+		client      = flag.Bool("client", false, "run as load-generating client instead of server")
+		target      = flag.String("target", "http://localhost:8337", "server URL (client mode)")
+		requests    = flag.Int("requests", 100, "batch requests to send (client mode)")
+		batch       = flag.Int("batch", 256, "pairs per batch request (client mode)")
+		concurrency = flag.Int("concurrency", 4, "concurrent client connections (client mode)")
+	)
+	flag.Parse()
+
+	if *client {
+		if err := runClient(*target, *requests, *batch, *concurrency, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	rng := par.NewRNG(*seed)
+	g, err := loadGraph(*in, *gen, *n, *m, rng)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("graph: n=%d m=%d\n", g.N(), g.M())
+
+	start := time.Now()
+	s, _, err := newServer(g, *trees, rng)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("oracle: K=%d trees, max depth %d, built in %v\n",
+		s.idx.NumTrees(), s.idx.MaxDepth(), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("serving on %s\n", *addr)
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: s.mux(),
+		// Serving-hardening timeouts: a slow-loris client (or one that
+		// never finishes a /batch body) must not pin a connection forever.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	if err := srv.ListenAndServe(); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+// server holds the immutable oracle and the query counters. The index is
+// read-only after construction, so handlers share it without locking; the
+// response buffers come from a pool.
+type server struct {
+	g       *graph.Graph
+	idx     *frt.OracleIndex
+	started time.Time
+
+	queries atomic.Int64 // pairs answered
+	batches atomic.Int64 // /batch requests served
+
+	bufs sync.Pool // *[]float64 response buffers
+}
+
+// newServer builds the shared pipeline once and indexes the ensemble (also
+// returned, for callers that want walk-path access to the trees).
+func newServer(g *graph.Graph, trees int, rng *par.RNG) (*server, *frt.Ensemble, error) {
+	e, err := frt.NewEmbedder(g, frt.Options{RNG: rng})
+	if err != nil {
+		return nil, nil, err
+	}
+	ens, err := e.SampleEnsemble(trees)
+	if err != nil {
+		return nil, nil, err
+	}
+	idx, err := ens.Index()
+	if err != nil {
+		return nil, nil, err
+	}
+	s := &server{g: g, idx: idx, started: time.Now()}
+	s.bufs.New = func() any { b := make([]float64, 0, 1024); return &b }
+	return s, ens, nil
+}
+
+func (s *server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /dist", s.handleDist)
+	mux.HandleFunc("POST /batch", s.handleBatch)
+	return mux
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"nodes":    s.g.N(),
+		"edges":    s.g.M(),
+		"trees":    s.idx.NumTrees(),
+		"maxDepth": s.idx.MaxDepth(),
+		"queries":  s.queries.Load(),
+		"batches":  s.batches.Load(),
+		"uptimeMs": time.Since(s.started).Milliseconds(),
+	})
+}
+
+func (s *server) handleDist(w http.ResponseWriter, r *http.Request) {
+	u, err1 := parseNode(r.URL.Query().Get("u"), s.g.N())
+	v, err2 := parseNode(r.URL.Query().Get("v"), s.g.N())
+	if err1 != nil || err2 != nil {
+		writeError(w, http.StatusBadRequest, "u and v must be node ids in [0, n)")
+		return
+	}
+	var d float64
+	switch stat := r.URL.Query().Get("stat"); stat {
+	case "", "min":
+		d = s.idx.Min(u, v)
+	case "median":
+		d = s.idx.Median(u, v)
+	default:
+		writeError(w, http.StatusBadRequest, "stat must be min or median")
+		return
+	}
+	s.queries.Add(1)
+	writeJSON(w, http.StatusOK, map[string]any{"u": u, "v": v, "dist": d})
+}
+
+// batchRequest is the /batch payload: pairs of node ids, and the estimator
+// to apply (min by default).
+type batchRequest struct {
+	Pairs [][2]int64 `json:"pairs"`
+	Stat  string     `json:"stat"`
+}
+
+type batchResponse struct {
+	Dists []float64 `json:"dists"`
+}
+
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<24))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if len(req.Pairs) == 0 {
+		writeError(w, http.StatusBadRequest, "empty pairs")
+		return
+	}
+	if len(req.Pairs) > maxBatchPairs {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("batch of %d pairs exceeds cap %d", len(req.Pairs), maxBatchPairs))
+		return
+	}
+	n := int64(s.g.N())
+	pairs := make([]frt.Pair, len(req.Pairs))
+	for i, p := range req.Pairs {
+		if p[0] < 0 || p[0] >= n || p[1] < 0 || p[1] >= n {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("pair %d out of range", i))
+			return
+		}
+		pairs[i] = frt.Pair{U: graph.Node(p[0]), V: graph.Node(p[1])}
+	}
+	bufp := s.bufs.Get().(*[]float64)
+	defer s.bufs.Put(bufp)
+	var out []float64
+	switch req.Stat {
+	case "", "min":
+		out = s.idx.MinBatch(pairs, *bufp)
+	case "median":
+		out = s.idx.MedianBatch(pairs, *bufp)
+	default:
+		writeError(w, http.StatusBadRequest, "stat must be min or median")
+		return
+	}
+	*bufp = out[:0]
+	s.queries.Add(int64(len(pairs)))
+	s.batches.Add(1)
+	writeJSON(w, http.StatusOK, batchResponse{Dists: out})
+}
+
+func parseNode(s string, n int) (graph.Node, error) {
+	// strconv.Atoi rejects trailing garbage ("3.9", "4x") outright, where a
+	// scanf-style parse would silently answer a different query.
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, err
+	}
+	if v < 0 || v >= n {
+		return 0, fmt.Errorf("node %d out of range", v)
+	}
+	return graph.Node(v), nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+// runClient floods the server's /batch endpoint with random-pair batches
+// from `concurrency` connections and reports throughput and latency
+// quantiles — the smoke-load harness for the serving scenario.
+func runClient(target string, requests, batch, concurrency int, seed uint64) error {
+	if requests < 1 || batch < 1 || concurrency < 1 {
+		return fmt.Errorf("-requests, -batch, and -concurrency must all be ≥ 1 (got %d, %d, %d)",
+			requests, batch, concurrency)
+	}
+	// One idle connection per worker, so the measured quantiles are server
+	// batch latency rather than TCP handshakes (DefaultTransport keeps only
+	// 2 idle conns per host), and a hung server fails the run instead of
+	// blocking it forever.
+	hc := &http.Client{
+		Timeout: time.Minute,
+		Transport: &http.Transport{
+			MaxIdleConns:        concurrency,
+			MaxIdleConnsPerHost: concurrency,
+		},
+	}
+	stats, err := fetchStats(hc, target)
+	if err != nil {
+		return fmt.Errorf("fetching %s/stats: %w", target, err)
+	}
+	n := int(stats.Nodes)
+	if n < 2 {
+		return fmt.Errorf("server graph too small: n=%d", n)
+	}
+	fmt.Printf("target %s: n=%d trees=%d\n", target, n, stats.Trees)
+
+	// Pre-draw every request body so the measured loop is pure I/O + server.
+	rng := par.NewRNG(seed)
+	bodies := make([][]byte, requests)
+	for i := range bodies {
+		req := batchRequest{Pairs: make([][2]int64, batch), Stat: "min"}
+		for j := range req.Pairs {
+			req.Pairs[j] = [2]int64{int64(rng.Intn(n)), int64(rng.Intn(n))}
+		}
+		b, err := json.Marshal(req)
+		if err != nil {
+			return err
+		}
+		bodies[i] = b
+	}
+
+	latencies := make([]time.Duration, requests)
+	errs := make([]error, requests)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < concurrency; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= requests {
+					return
+				}
+				t0 := time.Now()
+				errs[i] = postBatch(hc, target, bodies[i], batch)
+				latencies[i] = time.Since(t0)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	failed := 0
+	for _, err := range errs {
+		if err != nil {
+			failed++
+		}
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pairs := requests * batch
+	fmt.Printf("sent %d batches × %d pairs in %v (%d failed)\n", requests, batch, elapsed.Round(time.Millisecond), failed)
+	fmt.Printf("throughput: %.0f pairs/s, %.1f batches/s\n",
+		float64(pairs)/elapsed.Seconds(), float64(requests)/elapsed.Seconds())
+	fmt.Printf("latency: p50 %v  p90 %v  p99 %v  max %v\n",
+		latencies[requests/2], latencies[requests*9/10], latencies[requests*99/100], latencies[requests-1])
+	if failed > 0 {
+		return fmt.Errorf("%d of %d requests failed: first error: %w", failed, requests, firstError(errs))
+	}
+	return nil
+}
+
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type statsResponse struct {
+	Nodes int64 `json:"nodes"`
+	Trees int64 `json:"trees"`
+}
+
+func fetchStats(hc *http.Client, target string) (*statsResponse, error) {
+	resp, err := hc.Get(target + "/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /stats: %s", resp.Status)
+	}
+	var s statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+func postBatch(hc *http.Client, target string, body []byte, wantDists int) error {
+	resp, err := hc.Post(target+"/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST /batch: %s", resp.Status)
+	}
+	var br batchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		return err
+	}
+	if len(br.Dists) != wantDists {
+		return fmt.Errorf("got %d dists, want %d", len(br.Dists), wantDists)
+	}
+	return nil
+}
+
+func loadGraph(in, gen string, n, m int, rng *par.RNG) (*graph.Graph, error) {
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return graph.Read(f)
+	}
+	switch gen {
+	case "random":
+		if m <= 0 {
+			m = 4 * n
+		}
+		return graph.RandomConnected(n, m, 10, rng), nil
+	case "grid":
+		side := 1
+		for side*side < n {
+			side++
+		}
+		return graph.GridGraph(side, side, 10, rng), nil
+	case "path":
+		return graph.PathGraph(n, 1), nil
+	case "cycle":
+		return graph.CycleGraph(n, 1), nil
+	case "geometric":
+		return graph.RandomGeometric(n, 0.15, rng), nil
+	case "lollipop":
+		return graph.Lollipop(n/4, 3*n/4), nil
+	case "powerlaw":
+		return graph.BarabasiAlbert(n, 3, 10, rng), nil
+	default:
+		return nil, fmt.Errorf("unknown generator %q", gen)
+	}
+}

@@ -1,0 +1,243 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"parmbf/internal/frt"
+	"parmbf/internal/graph"
+	"parmbf/internal/par"
+)
+
+func testServer(t *testing.T) (*server, *httptest.Server, *graph.Graph, *frt.Ensemble) {
+	t.Helper()
+	rng := par.NewRNG(5)
+	g := graph.RandomConnected(48, 140, 8, rng)
+	s, ens, err := newServer(g, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.mux())
+	t.Cleanup(ts.Close)
+	return s, ts, g, ens
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestHealthzAndStats(t *testing.T) {
+	s, ts, g, _ := testServer(t)
+	var health map[string]string
+	if code := getJSON(t, ts.URL+"/healthz", &health); code != http.StatusOK || health["status"] != "ok" {
+		t.Fatalf("healthz: code %d, body %v", code, health)
+	}
+	var stats map[string]any
+	if code := getJSON(t, ts.URL+"/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats: code %d", code)
+	}
+	if int(stats["nodes"].(float64)) != g.N() || int(stats["trees"].(float64)) != s.idx.NumTrees() {
+		t.Fatalf("stats mismatch: %v", stats)
+	}
+}
+
+func TestDistEndpointMatchesEnsemble(t *testing.T) {
+	_, ts, _, ens := testServer(t)
+	for _, q := range []struct{ u, v int }{{0, 1}, {3, 40}, {7, 7}, {47, 0}} {
+		var got struct {
+			Dist float64 `json:"dist"`
+		}
+		url := ts.URL + "/dist?u=" + itoa(q.u) + "&v=" + itoa(q.v)
+		if code := getJSON(t, url, &got); code != http.StatusOK {
+			t.Fatalf("dist(%d,%d): code %d", q.u, q.v, code)
+		}
+		if want := ens.Min(graph.Node(q.u), graph.Node(q.v)); got.Dist != want {
+			t.Fatalf("dist(%d,%d) = %v, ensemble Min %v", q.u, q.v, got.Dist, want)
+		}
+		var med struct {
+			Dist float64 `json:"dist"`
+		}
+		if code := getJSON(t, url+"&stat=median", &med); code != http.StatusOK {
+			t.Fatalf("median dist(%d,%d): code %d", q.u, q.v, code)
+		}
+		if want := ens.Median(graph.Node(q.u), graph.Node(q.v)); med.Dist != want {
+			t.Fatalf("median(%d,%d) = %v, ensemble %v", q.u, q.v, med.Dist, want)
+		}
+	}
+}
+
+func TestDistEndpointRejectsBadInput(t *testing.T) {
+	_, ts, _, _ := testServer(t)
+	for _, q := range []string{"u=0", "u=x&v=1", "u=-1&v=2", "u=0&v=99999", "u=3.9&v=2", "u=4junk&v=2", "u=0&v=1&stat=mean"} {
+		if code := getJSON(t, ts.URL+"/dist?"+q, nil); code != http.StatusBadRequest {
+			t.Fatalf("query %q: code %d, want 400", q, code)
+		}
+	}
+}
+
+func postJSON(t *testing.T, url, body string) (int, batchResponse) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var br batchResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode, br
+}
+
+func TestBatchEndpointMatchesMinBatch(t *testing.T) {
+	s, ts, g, ens := testServer(t)
+	rng := par.NewRNG(9)
+	req := batchRequest{Pairs: make([][2]int64, 64)}
+	for i := range req.Pairs {
+		req.Pairs[i] = [2]int64{int64(rng.Intn(g.N())), int64(rng.Intn(g.N()))}
+	}
+	body, _ := json.Marshal(req)
+	// Twice: the second run exercises the pooled response buffer.
+	for round := 0; round < 2; round++ {
+		code, br := postJSON(t, ts.URL+"/batch", string(body))
+		if code != http.StatusOK {
+			t.Fatalf("batch round %d: code %d", round, code)
+		}
+		if len(br.Dists) != len(req.Pairs) {
+			t.Fatalf("batch round %d: %d dists, want %d", round, len(br.Dists), len(req.Pairs))
+		}
+		for i, p := range req.Pairs {
+			if want := ens.Min(graph.Node(p[0]), graph.Node(p[1])); br.Dists[i] != want {
+				t.Fatalf("batch round %d pair %d: %v, want %v", round, i, br.Dists[i], want)
+			}
+		}
+	}
+	if got := s.batches.Load(); got != 2 {
+		t.Fatalf("batches counter = %d, want 2", got)
+	}
+	if got := s.queries.Load(); got != int64(2*len(req.Pairs)) {
+		t.Fatalf("queries counter = %d, want %d", got, 2*len(req.Pairs))
+	}
+}
+
+func TestBatchEndpointRejectsBadInput(t *testing.T) {
+	_, ts, _, _ := testServer(t)
+	cases := []struct {
+		name, body string
+		code       int
+	}{
+		{"not json", "{", http.StatusBadRequest},
+		{"empty pairs", `{"pairs":[]}`, http.StatusBadRequest},
+		{"out of range", `{"pairs":[[0,99999]]}`, http.StatusBadRequest},
+		{"negative", `{"pairs":[[-1,0]]}`, http.StatusBadRequest},
+		{"bad stat", `{"pairs":[[0,1]],"stat":"mean"}`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		if code, _ := postJSON(t, ts.URL+"/batch", c.body); code != c.code {
+			t.Fatalf("%s: code %d, want %d", c.name, code, c.code)
+		}
+	}
+	// Over-cap batch: generated, not hand-written.
+	var buf bytes.Buffer
+	buf.WriteString(`{"pairs":[`)
+	for i := 0; i <= maxBatchPairs; i++ {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		buf.WriteString("[0,1]")
+	}
+	buf.WriteString(`]}`)
+	if code, _ := postJSON(t, ts.URL+"/batch", buf.String()); code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("over-cap batch: code %d, want 413", code)
+	}
+}
+
+func TestBatchMedianStat(t *testing.T) {
+	_, ts, _, ens := testServer(t)
+	code, br := postJSON(t, ts.URL+"/batch", `{"pairs":[[0,1],[2,3]],"stat":"median"}`)
+	if code != http.StatusOK {
+		t.Fatalf("median batch: code %d", code)
+	}
+	for i, p := range [][2]graph.Node{{0, 1}, {2, 3}} {
+		if want := ens.Median(p[0], p[1]); br.Dists[i] != want {
+			t.Fatalf("median pair %d: %v, want %v", i, br.Dists[i], want)
+		}
+	}
+}
+
+// TestClientAgainstServer spins the real handler stack up on a loopback
+// listener and runs the load-generating client against it end to end.
+func TestClientAgainstServer(t *testing.T) {
+	_, ts, _, _ := testServer(t)
+	if err := runClient(ts.URL, 8, 16, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClientReportsServerErrors covers the client's failure accounting: a
+// server whose /stats looks healthy but whose /batch fails must surface
+// the first error, not report success.
+func TestClientReportsServerErrors(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, statsResponse{Nodes: 64, Trees: 4})
+	})
+	mux.HandleFunc("POST /batch", func(w http.ResponseWriter, _ *http.Request) {
+		writeError(w, http.StatusInternalServerError, "boom")
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	if err := runClient(ts.URL, 4, 8, 2, 3); err == nil {
+		t.Fatal("client reported success against a failing /batch")
+	}
+	if err := runClient("http://127.0.0.1:1", 1, 1, 1, 1); err == nil {
+		t.Fatal("client reported success against a dead target")
+	}
+	if err := runClient(ts.URL, 0, 8, 2, 3); err == nil {
+		t.Fatal("-requests 0 accepted")
+	}
+	if err := runClient(ts.URL, 4, -1, 2, 3); err == nil {
+		t.Fatal("negative -batch accepted")
+	}
+}
+
+func TestLoadGraphGenerators(t *testing.T) {
+	rng := par.NewRNG(1)
+	for _, gen := range []string{"random", "grid", "path", "cycle", "geometric", "lollipop", "powerlaw"} {
+		g, err := loadGraph("", gen, 32, 0, rng)
+		if err != nil {
+			t.Fatalf("%s: %v", gen, err)
+		}
+		if g.N() == 0 {
+			t.Fatalf("%s: empty graph", gen)
+		}
+	}
+	if _, err := loadGraph("", "nope", 16, 0, rng); err == nil {
+		t.Fatal("unknown generator accepted")
+	}
+	if _, err := loadGraph("/nonexistent/file", "", 0, 0, rng); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func itoa(v int) string {
+	b, _ := json.Marshal(v)
+	return string(b)
+}

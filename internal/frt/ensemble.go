@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"parmbf/internal/graph"
 	"parmbf/internal/par"
@@ -17,10 +18,25 @@ import (
 // the process log(ε⁻¹) times and taking the best result").
 //
 // An Ensemble doubles as a one-sided approximate distance oracle: Min never
-// under-estimates, queries cost O(trees · tree depth), and no Θ(n²) metric
-// is ever stored.
+// under-estimates, queries cost O(trees · log depth) through the lazily
+// built OracleIndex, and no Θ(n²) metric is ever stored.
+//
+// The first query (Min, Median, Evaluate, or Index) indexes the trees;
+// Trees must not be mutated afterwards, or queries will answer from the
+// stale index.
 type Ensemble struct {
 	Trees []*Tree
+
+	idxOnce sync.Once
+	idx     *OracleIndex
+	idxErr  error
+}
+
+// Index returns the ensemble's OracleIndex, building it on first use
+// (O(trees · n · depth)). All of Min, Median, and Evaluate answer from it.
+func (e *Ensemble) Index() (*OracleIndex, error) {
+	e.idxOnce.Do(func() { e.idx, e.idxErr = NewOracleIndex(e.Trees) })
+	return e.idx, e.idxErr
 }
 
 // SampleEnsemble draws `count` independent embeddings via sampler, one at a
@@ -43,8 +59,23 @@ func SampleEnsemble(count int, sampler func() (*Embedding, error)) (*Ensemble, e
 }
 
 // Min returns the smallest tree distance over the ensemble — an upper bound
-// on dist(u, v, G) that tightens as trees are added.
+// on dist(u, v, G) that tightens as trees are added. It answers from the
+// OracleIndex (bitwise identical to the direct parent-walk minimum). If the
+// index cannot be built because any tree is structurally invalid, the whole
+// ensemble falls back to the O(trees·depth) parent walk — check
+// (*Ensemble).Index's error to detect that state rather than serving at
+// walk speed.
 func (e *Ensemble) Min(u, v graph.Node) float64 {
+	if idx, err := e.Index(); err == nil {
+		return idx.Min(u, v)
+	}
+	return e.minWalk(u, v)
+}
+
+// minWalk is the pre-index query path: one lockstep parent walk per tree.
+// It is the reference implementation the differential tests pin MinBatch
+// against, and the fallback for structurally invalid trees.
+func (e *Ensemble) minWalk(u, v graph.Node) float64 {
 	best := e.Trees[0].Dist(u, v)
 	for _, t := range e.Trees[1:] {
 		if d := t.Dist(u, v); d < best {
@@ -57,6 +88,9 @@ func (e *Ensemble) Min(u, v graph.Node) float64 {
 // Median returns the median tree distance — a robust estimate of the
 // typical O(log n)-stretched distance.
 func (e *Ensemble) Median(u, v graph.Node) float64 {
+	if idx, err := e.Index(); err == nil {
+		return idx.Median(u, v)
+	}
 	ds := make([]float64, len(e.Trees))
 	for i, t := range e.Trees {
 		ds[i] = t.Dist(u, v)
@@ -84,13 +118,24 @@ type EnsembleStats struct {
 // Evaluate measures the ensemble's Min estimator against exact distances on
 // `pairs` random pairs. The pairs are drawn sequentially from rng (so a
 // fixed seed selects a fixed pair set); the exact distances (one Dijkstra
-// per distinct source, reused across that source's pairs) and the per-pair
-// tree-distance minima are then computed in parallel.
+// per distinct source, reused across that source's pairs) are computed in
+// parallel, and the per-pair tree-distance minima go through the
+// OracleIndex's batched MinBatch path.
 func (e *Ensemble) Evaluate(g *graph.Graph, pairs int, rng *par.RNG) EnsembleStats {
 	ps := drawEvalPairs(g, pairs, rng, false)
+	mins := make([]float64, len(ps))
+	if idx, err := e.Index(); err == nil {
+		qs := make([]Pair, len(ps))
+		for i, p := range ps {
+			qs[i] = Pair{U: p.u, V: p.v}
+		}
+		idx.MinBatch(qs, mins)
+	} else {
+		par.ForEach(len(ps), func(i int) { mins[i] = e.minWalk(ps[i].u, ps[i].v) })
+	}
 	stats := par.Reduce(len(ps), EnsembleStats{DominanceOK: true},
 		func(i int) EnsembleStats {
-			ratio := e.Min(ps[i].u, ps[i].v) / ps[i].d
+			ratio := mins[i] / ps[i].d
 			return EnsembleStats{
 				Pairs:         1,
 				AvgMinStretch: ratio,

@@ -1,0 +1,546 @@
+package frt
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync/atomic"
+
+	"parmbf/internal/graph"
+	"parmbf/internal/par"
+)
+
+// This file is the query layer over sampled FRT trees: TreeIndex answers
+// single-tree distance queries in O(log depth) array lookups instead of the
+// O(depth) pointer walk of Tree.Dist, and OracleIndex bundles an ensemble
+// into a batched min-distance oracle — the serving-side counterpart of the
+// construction pipeline (Embedder builds trees cheaply, OracleIndex makes
+// them cheap to use).
+
+// TreeIndex is a preprocessed FRT tree supporting pointer-free distance
+// queries. It exploits the uniform leaf depth of FRT trees: every leaf has
+// exactly depth+1 ancestors (itself included), so the ancestors and the
+// prefix weights of all leaves pack into two flat arrays with one contiguous
+// row per graph node. A query touches only the two rows of its endpoints —
+// no pointer chasing through tree nodes scattered across the heap.
+//
+// Build cost is O(n·depth) time and memory; Dist is O(log depth): ancestor
+// rows merge monotonically (once two lockstep walks meet they stay met), so
+// the merge height is found by binary search.
+type TreeIndex struct {
+	tree   *Tree
+	n      int // number of leaves (graph nodes)
+	depth  int // levels from leaf to root; stride-1
+	stride int // depth+1 entries per row
+	// anc[v*stride+h] is the height-h ancestor of v's leaf (h=0 the leaf
+	// itself, h=depth the root).
+	anc []int32
+	// pw[v*stride+h] is the total edge weight from v's leaf up to its
+	// height-h ancestor, accumulated bottom-up — the same summation order as
+	// Tree.Dist's walk, so results agree bitwise.
+	pw []float64
+}
+
+// NewTreeIndex preprocesses t. It fails on structurally invalid trees
+// (unequal leaf depths, out-of-range pointers, parent cycles) — the same
+// defects Tree.Validate reports — rather than producing a lying index.
+func NewTreeIndex(t *Tree) (*TreeIndex, error) {
+	n := len(t.Leaf)
+	if n == 0 || t.NumNodes() == 0 {
+		return nil, fmt.Errorf("frt: cannot index an empty tree")
+	}
+	if len(t.EdgeWeight) < t.NumNodes() {
+		return nil, fmt.Errorf("frt: tree has %d parents but %d edge weights", t.NumNodes(), len(t.EdgeWeight))
+	}
+	// Measure the depth of Leaf[0] with explicit bounds checks (Tree.Depth
+	// assumes a valid tree; the index must not) — every other leaf is then
+	// required to match it during the parallel fill.
+	depth := 0
+	for u := t.Leaf[0]; ; depth++ {
+		if u < 0 || int(u) >= t.NumNodes() || depth > t.NumNodes() {
+			return nil, fmt.Errorf("frt: broken parent chain at leaf 0 (run Validate for details)")
+		}
+		if t.Parent[u] == -1 {
+			break
+		}
+		u = t.Parent[u]
+	}
+	stride := depth + 1
+	x := &TreeIndex{
+		tree:   t,
+		n:      n,
+		depth:  depth,
+		stride: stride,
+		anc:    make([]int32, n*stride),
+		pw:     make([]float64, n*stride),
+	}
+	// Rows are independent; fill them in parallel. A structural defect found
+	// by any worker is recorded (first writer wins) and reported after the
+	// sweep.
+	var badV atomic.Int32
+	badV.Store(-1)
+	par.ForEach(n, func(v int) {
+		row := v * stride
+		u := t.Leaf[v]
+		if u < 0 || int(u) >= t.NumNodes() {
+			badV.CompareAndSwap(-1, int32(v))
+			return
+		}
+		x.anc[row] = u
+		for h := 0; h < depth; h++ {
+			p := t.Parent[u]
+			if p < 0 || int(p) >= t.NumNodes() {
+				badV.CompareAndSwap(-1, int32(v))
+				return
+			}
+			x.pw[row+h+1] = x.pw[row+h] + t.EdgeWeight[u]
+			x.anc[row+h+1] = p
+			u = p
+		}
+		if t.Parent[u] != -1 {
+			badV.CompareAndSwap(-1, int32(v)) // deeper than Leaf[0]: unequal depths
+		}
+	})
+	if v := badV.Load(); v != -1 {
+		return nil, fmt.Errorf("frt: tree is structurally invalid at graph node %d (run Validate for details)", v)
+	}
+	return x, nil
+}
+
+// Tree returns the tree the index was built from.
+func (x *TreeIndex) Tree() *Tree { return x.tree }
+
+// NumLeaves returns the number of graph nodes (leaves) indexed.
+func (x *TreeIndex) NumLeaves() int { return x.n }
+
+// Depth returns the uniform leaf depth of the indexed tree.
+func (x *TreeIndex) Depth() int { return x.depth }
+
+// Dist returns the tree distance between the leaves of u and v, bitwise
+// identical to Tree.Dist, in O(log depth) lookups: binary search for the
+// merge height h (the lowest height at which the ancestor rows agree), then
+// one prefix-weight load per endpoint.
+func (x *TreeIndex) Dist(u, v graph.Node) float64 {
+	if u == v {
+		return 0
+	}
+	ru, rv := int(u)*x.stride, int(v)*x.stride
+	h := mergeHeight(x.anc[ru:ru+x.stride], x.anc[rv:rv+x.stride])
+	return x.pw[ru+h] + x.pw[rv+h]
+}
+
+// Pair is a distance-query pair.
+type Pair struct {
+	U, V graph.Node
+}
+
+// OracleIndex is the batched query service over an ensemble of indexed
+// trees: Min answers the paper's headline estimate min_k dist_Tk(u,v) — an
+// O(log n)-expected-stretch upper bound on dist_G(u,v) — in O(K·log depth)
+// array lookups, and MinBatch fans a pair slice out over par.ForEach.
+//
+// The per-tree TreeIndex rows are additionally repacked into one block per
+// graph node holding all K trees' ancestor and prefix-weight rows
+// back-to-back (shallower trees padded by repeating their root). A query
+// then streams exactly two contiguous blocks — one per endpoint — instead
+// of touching 2·K rows scattered across K separate indexes, which is what
+// makes the batched path an order of magnitude faster than the parent
+// walk even on a single core.
+type OracleIndex struct {
+	n      int
+	k      int   // ensemble size
+	depths []int // per-tree leaf depth (the per-tree indexes are not retained)
+	// stride is maxDepth+1: every packed row is padded to it, so one search
+	// loop serves all trees.
+	stride int
+	// anc[(v*k+t)*stride + h] is the height-h ancestor of v's leaf in tree
+	// t; heights past tree t's depth repeat its root. Built only when the
+	// packed representation is unavailable (n > 65536).
+	anc []int32
+	// pw mirrors anc with the prefix weight from the leaf up to height h.
+	// Built only when the shared level-weight table is unavailable.
+	pw []float64
+	// pwShared collapses pw when every tree is level-uniform — all leaves
+	// of a tree see the same edge weight at each height, which is how
+	// BuildTree constructs trees (the level-i edge weight 2β2^i does not
+	// depend on the cluster). Then pw[(v*k+t)*stride+h] == pwShared[t*stride+h]
+	// for every v, the whole table is k·stride floats that live in L1, and
+	// a query's memory traffic drops to the two packed ancestor rows.
+	// Nil when any tree has non-uniform level weights (possible for trees
+	// deserialised from elsewhere); queries then read the per-leaf pw.
+	pwShared []float64
+	// packed is the fast merge-height representation, built whenever
+	// n ≤ 65536: ancestors are renumbered into per-height dense cluster ids
+	// (equality-preserving, < n, so they fit uint16) and packed four
+	// heights per uint64 word — packed[(v*k+t)*words + h/4], lane h%4. The
+	// merge height of a pair in one tree is then a top-down scan of
+	// XOR-compared words plus one leading-zero count: O(depth/4) word ops,
+	// typically 2–3, instead of a pointer walk or a lane-wise search.
+	packed []uint64
+	// words is the padded word count per (node, tree) row: ceil(stride/4).
+	words int
+	med   par.Pool[*[]float64]
+}
+
+// packedMaxNodes bounds the graphs served by the packed-word kernel: dense
+// per-height cluster ids must fit uint16.
+const packedMaxNodes = 1 << 16
+
+// NewOracleIndex indexes every tree of the ensemble. All trees must embed
+// the same node set.
+func NewOracleIndex(trees []*Tree) (*OracleIndex, error) {
+	return newOracleIndex(trees, false, false)
+}
+
+// newOracleIndex is the constructor with kernel-selection knobs, used by
+// tests to force the fallback kernels that NewOracleIndex would not build
+// on small level-uniform ensembles.
+//
+// Each representation is materialised only if its kernel is selected: the
+// per-tree TreeIndexes are construction scratch (queries never reach them,
+// so a long-lived server does not pay K redundant tables), and the
+// repacked int32/float64 fallback tables are skipped entirely when the
+// packed words and the shared level-weight table supersede them — for the
+// common case (BuildTree trees, n ≤ 65536) the resident index is the
+// packed words plus one k·stride float table.
+func newOracleIndex(trees []*Tree, disablePacked, disableShared bool) (*OracleIndex, error) {
+	if len(trees) == 0 {
+		return nil, fmt.Errorf("frt: oracle index needs ≥ 1 tree")
+	}
+	o := &OracleIndex{n: len(trees[0].Leaf), k: len(trees), depths: make([]int, len(trees))}
+	o.med.New = func() *[]float64 { ds := make([]float64, o.k); return &ds }
+	xs := make([]*TreeIndex, len(trees))
+	maxDepth := 0
+	for i, t := range trees {
+		if len(t.Leaf) != o.n {
+			return nil, fmt.Errorf("frt: tree %d embeds %d nodes, tree 0 embeds %d", i, len(t.Leaf), o.n)
+		}
+		x, err := NewTreeIndex(t)
+		if err != nil {
+			return nil, fmt.Errorf("frt: tree %d: %w", i, err)
+		}
+		xs[i] = x
+		o.depths[i] = x.depth
+		if x.depth > maxDepth {
+			maxDepth = x.depth
+		}
+	}
+	o.stride = maxDepth + 1
+	if o.n <= packedMaxNodes && !disablePacked {
+		o.buildPacked(xs)
+	}
+	if !disableShared {
+		o.buildSharedWeights(xs)
+	}
+	if o.packed == nil {
+		o.buildAnc(xs)
+	}
+	if o.pwShared == nil {
+		o.buildPw(xs)
+	}
+	return o, nil
+}
+
+// buildAnc repacks the per-tree int32 ancestor rows into per-node blocks —
+// the merge-height fallback for n > 65536. Padding repeats the root: the
+// padded heights stay equal across any two nodes, so the merge-height
+// search is unchanged.
+func (o *OracleIndex) buildAnc(xs []*TreeIndex) {
+	o.anc = make([]int32, o.n*o.k*o.stride)
+	par.ForEach(o.n, func(v int) {
+		for t, x := range xs {
+			dst := (v*o.k + t) * o.stride
+			src := v * x.stride
+			copy(o.anc[dst:dst+x.stride], x.anc[src:src+x.stride])
+			root := x.anc[src+x.depth]
+			for h := x.stride; h < o.stride; h++ {
+				o.anc[dst+h] = root
+			}
+		}
+	})
+}
+
+// buildPw repacks the per-leaf prefix weights into per-node blocks — the
+// distance lookup for trees with non-uniform level weights.
+func (o *OracleIndex) buildPw(xs []*TreeIndex) {
+	o.pw = make([]float64, o.n*o.k*o.stride)
+	par.ForEach(o.n, func(v int) {
+		for t, x := range xs {
+			dst := (v*o.k + t) * o.stride
+			src := v * x.stride
+			copy(o.pw[dst:dst+x.stride], x.pw[src:src+x.stride])
+			top := x.pw[src+x.depth]
+			for h := x.stride; h < o.stride; h++ {
+				o.pw[dst+h] = top
+			}
+		}
+	})
+}
+
+// buildSharedWeights detects level-uniform prefix weights (see pwShared):
+// if every leaf's pw row is bitwise identical to leaf 0's in every tree,
+// queries can answer from the k·stride-entry shared table.
+func (o *OracleIndex) buildSharedWeights(xs []*TreeIndex) {
+	shared := make([]float64, o.k*o.stride)
+	for t, x := range xs {
+		row := shared[t*o.stride : (t+1)*o.stride]
+		copy(row, x.pw[:x.stride]) // leaf 0's row
+		for h := x.stride; h < o.stride; h++ {
+			row[h] = x.pw[x.depth] // pad with the full leaf-to-root weight
+		}
+	}
+	uniform := par.Reduce(o.n, true,
+		func(v int) bool {
+			for t, x := range xs {
+				base := shared[t*o.stride:]
+				row := x.pw[v*x.stride : (v+1)*x.stride]
+				for h, w := range row {
+					if base[h] != w {
+						return false
+					}
+				}
+			}
+			return true
+		},
+		func(a, b bool) bool { return a && b })
+	if uniform {
+		o.pwShared = shared
+	}
+}
+
+// buildPacked renumbers each tree's per-height clusters into dense uint16
+// ids and packs them four heights per word (see the packed field doc).
+// Renumbering is equality-preserving per (tree, height), which is all the
+// merge-height scan compares, and the padded lanes repeat the root id so
+// padding never manufactures a difference.
+func (o *OracleIndex) buildPacked(xs []*TreeIndex) {
+	o.words = (o.stride + 3) / 4
+	o.packed = make([]uint64, o.n*o.k*o.words)
+	par.ForEach(o.k, func(t int) {
+		x := xs[t]
+		// First-seen dense renumbering per height, stamped so the scratch
+		// is reused across heights without clearing.
+		id := make([]uint16, x.tree.NumNodes())
+		stamp := make([]int32, x.tree.NumNodes())
+		for i := range stamp {
+			stamp[i] = -1
+		}
+		dense := make([]uint16, o.n)
+		for h := 0; h < o.words*4; h++ {
+			hEff := h
+			if hEff > x.depth {
+				hEff = x.depth
+			}
+			next := uint16(0)
+			for v := 0; v < o.n; v++ {
+				a := x.anc[v*x.stride+hEff]
+				if stamp[a] != int32(h) {
+					stamp[a] = int32(h)
+					id[a] = next
+					next++
+				}
+				dense[v] = id[a]
+			}
+			w, lane := h/4, uint(h%4)*16
+			for v := 0; v < o.n; v++ {
+				o.packed[(v*o.k+t)*o.words+w] |= uint64(dense[v]) << lane
+			}
+		}
+	})
+}
+
+// NumTrees returns the ensemble size K.
+func (o *OracleIndex) NumTrees() int { return o.k }
+
+// NumLeaves returns the number of graph nodes served.
+func (o *OracleIndex) NumLeaves() int { return o.n }
+
+// MaxDepth returns the largest tree depth in the ensemble (queries cost
+// O(NumTrees · log MaxDepth)).
+func (o *OracleIndex) MaxDepth() int { return o.stride - 1 }
+
+// Min returns the smallest tree distance over the ensemble, identical (to
+// the last bit) to taking the minimum of Tree.Dist over the trees: the
+// per-tree distances are the same prefix sums, and trees are folded in the
+// same ascending order with the same strict comparison.
+//
+// With the packed representation (n ≤ 65536) each tree's merge height — the
+// first height at which the two ancestor rows agree; they agree at the
+// shared root, and lockstep walks never separate once met — is found by
+// XOR-comparing 4-height words top-down and locating the highest differing
+// lane with a leading-zero count. Larger graphs binary-search the int32
+// rows instead.
+func (o *OracleIndex) Min(u, v graph.Node) float64 {
+	if u == v {
+		return 0
+	}
+	ks := o.k * o.stride
+	var best float64
+	if o.packed != nil {
+		kw := o.k * o.words
+		xu := o.packed[int(u)*kw : int(u)*kw+kw]
+		xv := o.packed[int(v)*kw : int(v)*kw+kw]
+		off, woff := 0, 0
+		if ps := o.pwShared; ps != nil {
+			// Both half-paths climb through identical level weights, so
+			// d = pwShared[h] + pwShared[h] — the same bits as pw[…u…+h] +
+			// pw[…v…+h] — and the query never touches the per-leaf table.
+			// The word scan is inlined by hand: the Go inliner refuses
+			// functions with loops, and 16 calls per query are measurable
+			// on the serving path.
+			for t := 0; t < o.k; t++ {
+				h := 0
+				for w := woff + o.words - 1; w >= woff; w-- {
+					if x := xu[w] ^ xv[w]; x != 0 {
+						h = (w-woff)*4 + (bits.Len64(x)-1)>>4 + 1
+						break
+					}
+				}
+				if d := ps[off+h] + ps[off+h]; t == 0 || d < best {
+					best = d
+				}
+				off += o.stride
+				woff += o.words
+			}
+			return best
+		}
+		pu, pv := o.pw[int(u)*ks:int(u)*ks+ks], o.pw[int(v)*ks:int(v)*ks+ks]
+		for t := 0; t < o.k; t++ {
+			h := packedMergeHeight(xu[woff:woff+o.words], xv[woff:woff+o.words])
+			if d := pu[off+h] + pv[off+h]; t == 0 || d < best {
+				best = d
+			}
+			off += o.stride
+			woff += o.words
+		}
+		return best
+	}
+	bu, bv := int(u)*ks, int(v)*ks
+	au, av := o.anc[bu:bu+ks], o.anc[bv:bv+ks]
+	if ps := o.pwShared; ps != nil {
+		for off := 0; off < ks; off += o.stride {
+			h := off + mergeHeight(au[off:off+o.stride], av[off:off+o.stride])
+			if d := ps[h] + ps[h]; off == 0 || d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	pu, pv := o.pw[bu:bu+ks], o.pw[bv:bv+ks]
+	for off := 0; off < ks; off += o.stride {
+		h := off + mergeHeight(au[off:off+o.stride], av[off:off+o.stride])
+		if d := pu[h] + pv[h]; off == 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// packedMergeHeight scans two packed rows top-down for the highest
+// differing height; the merge height is one above it. Distinct leaves
+// guarantee a difference in word 0, so the scan always terminates with a
+// hit for u ≠ v.
+func packedMergeHeight(xu, xv []uint64) int {
+	for w := len(xu) - 1; w >= 0; w-- {
+		if x := xu[w] ^ xv[w]; x != 0 {
+			lane := (bits.Len64(x) - 1) >> 4
+			return w*4 + lane + 1
+		}
+	}
+	return 0
+}
+
+// mergeHeight binary-searches one padded int32 row pair for the first
+// height at which they agree — the fallback kernel for n > 65536.
+func mergeHeight(au, av []int32) int {
+	lo, hi := 0, len(au)-1
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if au[mid] == av[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Median returns the median tree distance, identical to Ensemble.Median.
+func (o *OracleIndex) Median(u, v graph.Node) float64 {
+	ds := o.med.Get()
+	m := o.median(u, v, *ds)
+	o.med.Put(ds)
+	return m
+}
+
+func (o *OracleIndex) median(u, v graph.Node, ds []float64) float64 {
+	if u == v {
+		return 0
+	}
+	ks := o.k * o.stride
+	if o.packed != nil {
+		kw := o.k * o.words
+		xu := o.packed[int(u)*kw : int(u)*kw+kw]
+		xv := o.packed[int(v)*kw : int(v)*kw+kw]
+		for t := 0; t < o.k; t++ {
+			h := packedMergeHeight(xu[t*o.words:(t+1)*o.words], xv[t*o.words:(t+1)*o.words])
+			if ps := o.pwShared; ps != nil {
+				ds[t] = ps[t*o.stride+h] + ps[t*o.stride+h]
+			} else {
+				ds[t] = o.pw[int(u)*ks+t*o.stride+h] + o.pw[int(v)*ks+t*o.stride+h]
+			}
+		}
+	} else {
+		bu, bv := int(u)*ks, int(v)*ks
+		au, av := o.anc[bu:bu+ks], o.anc[bv:bv+ks]
+		for t := 0; t < o.k; t++ {
+			off := t * o.stride
+			h := off + mergeHeight(au[off:off+o.stride], av[off:off+o.stride])
+			if ps := o.pwShared; ps != nil {
+				ds[t] = ps[h] + ps[h]
+			} else {
+				ds[t] = o.pw[bu+h] + o.pw[bv+h]
+			}
+		}
+	}
+	sort.Float64s(ds)
+	mid := len(ds) / 2
+	if len(ds)%2 == 1 {
+		return ds[mid]
+	}
+	return (ds[mid-1] + ds[mid]) / 2
+}
+
+// MinBatch answers Min for every pair, parallelised over par.ForEach. The
+// result is written into out when it has sufficient capacity (a server can
+// recycle response buffers); otherwise a fresh slice is allocated. Either
+// way the filled slice is returned.
+func (o *OracleIndex) MinBatch(pairs []Pair, out []float64) []float64 {
+	out = sizeFor(out, len(pairs))
+	par.ForEach(len(pairs), func(i int) {
+		out[i] = o.Min(pairs[i].U, pairs[i].V)
+	})
+	return out
+}
+
+// MedianBatch answers Median for every pair, parallelised over par.ForEach
+// with per-item scratch borrowed from an internal pool, so steady-state
+// batches allocate nothing beyond the result slice.
+func (o *OracleIndex) MedianBatch(pairs []Pair, out []float64) []float64 {
+	out = sizeFor(out, len(pairs))
+	par.ForEach(len(pairs), func(i int) {
+		ds := o.med.Get()
+		out[i] = o.median(pairs[i].U, pairs[i].V, *ds)
+		o.med.Put(ds)
+	})
+	return out
+}
+
+// sizeFor returns out resliced to length n, reallocating only when the
+// capacity is insufficient.
+func sizeFor(out []float64, n int) []float64 {
+	if cap(out) < n {
+		return make([]float64, n)
+	}
+	return out[:n]
+}

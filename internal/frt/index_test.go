@@ -1,0 +1,424 @@
+package frt
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"parmbf/internal/graph"
+	"parmbf/internal/par"
+)
+
+// sampleEnsembleForIndex draws K trees of a random graph with the cheap
+// direct sampler — the query layer under test is independent of how the
+// trees were constructed.
+func sampleEnsembleForIndex(t testing.TB, seed uint64, n, m, k int) (*graph.Graph, *Ensemble) {
+	t.Helper()
+	rng := par.NewRNG(seed)
+	g := graph.RandomConnected(n, m, 8, rng)
+	e, err := SampleEnsemble(k, func() (*Embedding, error) { return SampleOnGraph(g, rng, nil) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, e
+}
+
+// maxProcsSettings are the parallel widths the differential suite sweeps:
+// forced-sequential, a fixed small width, and whatever the machine has.
+func maxProcsSettings() []int {
+	return []int{1, 4, runtime.GOMAXPROCS(0)}
+}
+
+// TestIndexDifferential is the pinning suite for the query rewrite: on
+// random graphs and random pairs, TreeIndex.Dist must equal the parent-walk
+// Tree.Dist and OracleIndex.MinBatch must equal the walk-based
+// min-over-trees bitwise (==, not within epsilon), for every par.MaxProcs
+// setting. The index may only change how distances are computed, never
+// their bits.
+func TestIndexDifferential(t *testing.T) {
+	defer func(p int) { par.MaxProcs = p }(par.MaxProcs)
+	type gcase struct {
+		name string
+		g    *graph.Graph
+		e    *Ensemble
+	}
+	rngG := par.NewRNG(7)
+	grid := graph.GridGraph(6, 6, 5, rngG)
+	gridEns, err := SampleEnsemble(4, func() (*Embedding, error) { return SampleOnGraph(grid, rngG, nil) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	randG, randEns := sampleEnsembleForIndex(t, 11, 80, 240, 5)
+	pathG := graph.PathGraph(17, 2)
+	pathEns, err := SampleEnsemble(3, func() (*Embedding, error) { return SampleOnGraph(pathG, par.NewRNG(13), nil) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []gcase{{"grid", grid, gridEns}, {"random", randG, randEns}, {"path", pathG, pathEns}}
+
+	for _, procs := range maxProcsSettings() {
+		par.MaxProcs = procs
+		for _, c := range cases {
+			// Fresh index per width so the parallel build itself is under test.
+			idx, err := NewOracleIndex(c.e.Trees)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := c.g.N()
+			prng := par.NewRNG(uint64(1000 + procs))
+			pairs := make([]Pair, 0, 203)
+			for i := 0; i < 200; i++ {
+				pairs = append(pairs, Pair{U: graph.Node(prng.Intn(n)), V: graph.Node(prng.Intn(n))})
+			}
+			// Edge pairs: equal endpoints, extremes.
+			pairs = append(pairs, Pair{U: 0, V: 0}, Pair{U: 0, V: graph.Node(n - 1)}, Pair{U: graph.Node(n - 1), V: 0})
+
+			for ti, tr := range c.e.Trees {
+				ix, err := NewTreeIndex(tr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, p := range pairs {
+					if got, want := ix.Dist(p.U, p.V), tr.Dist(p.U, p.V); got != want {
+						t.Fatalf("procs=%d %s tree %d: TreeIndex.Dist(%d,%d)=%v, walk %v",
+							procs, c.name, ti, p.U, p.V, got, want)
+					}
+				}
+			}
+			got := idx.MinBatch(pairs, nil)
+			for i, p := range pairs {
+				want := c.e.minWalk(p.U, p.V)
+				if got[i] != want {
+					t.Fatalf("procs=%d %s: MinBatch(%d,%d)=%v, walk min %v", procs, c.name, p.U, p.V, got[i], want)
+				}
+				if med, wmed := idx.Median(p.U, p.V), medianWalkDirect(c.e.Trees, p.U, p.V); med != wmed {
+					t.Fatalf("procs=%d %s: Median(%d,%d)=%v, walk median %v", procs, c.name, p.U, p.V, med, wmed)
+				}
+			}
+			if med := idx.MedianBatch(pairs, nil); !reflect.DeepEqual(medBatchWalk(c.e.Trees, pairs), med) {
+				t.Fatalf("procs=%d %s: MedianBatch differs from walk medians", procs, c.name)
+			}
+		}
+	}
+}
+
+func medBatchWalk(trees []*Tree, pairs []Pair) []float64 {
+	out := make([]float64, len(pairs))
+	for i, p := range pairs {
+		out[i] = medianWalkDirect(trees, p.U, p.V)
+	}
+	return out
+}
+
+// medianWalkDirect sorts per-tree parent-walk distances without any index.
+func medianWalkDirect(trees []*Tree, u, v graph.Node) float64 {
+	ds := make([]float64, len(trees))
+	for i, tr := range trees {
+		ds[i] = tr.Dist(u, v)
+	}
+	insertionSort(ds)
+	mid := len(ds) / 2
+	if len(ds)%2 == 1 {
+		return ds[mid]
+	}
+	return (ds[mid-1] + ds[mid]) / 2
+}
+
+func insertionSort(a []float64) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// TestOracleIndexFastPathSelection pins the internal kernel selection: on
+// sampled trees (level-uniform by construction, n ≤ 65536) the index must
+// engage both the packed-word representation and the shared level-weight
+// table — if either silently stops applying, the serving path regresses by
+// an order of magnitude with no functional failure to flag it.
+func TestOracleIndexFastPathSelection(t *testing.T) {
+	_, e := sampleEnsembleForIndex(t, 61, 48, 120, 4)
+	idx, err := e.Index()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.packed == nil {
+		t.Fatal("packed merge-height representation not built for a small graph")
+	}
+	if idx.pwShared == nil {
+		t.Fatal("shared level-weight table not detected on BuildTree trees")
+	}
+}
+
+// TestOracleIndexKernelsAgree forces every query-kernel combination over
+// the same ensemble and pairs: the packed+shared fast path (the default),
+// the packed per-leaf path (non-uniform weights), and the int32
+// binary-search fallbacks (n > 65536), with and without the shared table,
+// must all reproduce the walk bitwise.
+func TestOracleIndexKernelsAgree(t *testing.T) {
+	g, e := sampleEnsembleForIndex(t, 71, 64, 160, 5)
+	prng := par.NewRNG(72)
+	pairs := make([]Pair, 150)
+	for i := range pairs {
+		pairs[i] = Pair{U: graph.Node(prng.Intn(g.N())), V: graph.Node(prng.Intn(g.N()))}
+	}
+	kernels := []struct {
+		name                         string
+		disablePacked, disableShared bool
+	}{
+		{"packed+shared", false, false},
+		{"packed per-leaf", false, true},
+		{"int32+shared", true, false},
+		{"int32 per-leaf", true, true},
+	}
+	for _, k := range kernels {
+		idx, err := newOracleIndex(e.Trees, k.disablePacked, k.disableShared)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (idx.packed == nil) != k.disablePacked || (idx.pwShared == nil) != k.disableShared {
+			t.Fatalf("%s: kernel selection did not take (packed=%v shared=%v)",
+				k.name, idx.packed != nil, idx.pwShared != nil)
+		}
+		for _, p := range pairs {
+			if got, want := idx.Min(p.U, p.V), e.minWalk(p.U, p.V); got != want {
+				t.Fatalf("%s kernel: Min(%d,%d)=%v, walk %v", k.name, p.U, p.V, got, want)
+			}
+			if got, want := idx.Median(p.U, p.V), medianWalkDirect(e.Trees, p.U, p.V); got != want {
+				t.Fatalf("%s kernel: Median(%d,%d)=%v, walk %v", k.name, p.U, p.V, got, want)
+			}
+		}
+	}
+}
+
+// TestOracleIndexReleasesSupersededTables pins the memory contract: once
+// the packed and shared-weight kernels are selected, the repacked int32
+// ancestors and the per-leaf prefix weights they supersede must be
+// released — a long-running server should not hold three representations.
+func TestOracleIndexReleasesSupersededTables(t *testing.T) {
+	_, e := sampleEnsembleForIndex(t, 91, 32, 80, 3)
+	idx, err := NewOracleIndex(e.Trees)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.packed == nil || idx.pwShared == nil {
+		t.Fatal("fast kernels not engaged")
+	}
+	if idx.anc != nil || idx.pw != nil {
+		t.Fatalf("superseded tables retained: anc=%d pw=%d entries", len(idx.anc), len(idx.pw))
+	}
+}
+
+// TestOracleIndexNonUniformWeights feeds a valid tree whose level weights
+// differ between branches (possible for deserialised trees, impossible for
+// BuildTree output): the shared-table optimisation must disengage and
+// queries must still match the walk.
+func TestOracleIndexNonUniformWeights(t *testing.T) {
+	tr := &Tree{
+		Parent:     []int32{-1, 0, 0, 1, 2},
+		EdgeWeight: []float64{0, 5, 7, 2, 2},
+		Center:     []graph.Node{0, 0, 1, 0, 1},
+		Level:      []int32{2, 1, 1, 0, 0},
+		Leaf:       []int32{3, 4},
+		Beta:       1.5,
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := NewOracleIndex([]*Tree{tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.pwShared != nil {
+		t.Fatal("shared level-weight table built for non-uniform weights")
+	}
+	if got, want := idx.Min(0, 1), tr.Dist(0, 1); got != want {
+		t.Fatalf("Min(0,1)=%v, walk %v", got, want)
+	}
+}
+
+// TestEnsembleQueriesUseIndex asserts the rewiring: Ensemble.Min/Median
+// answer identically to the walk after the index is built lazily.
+func TestEnsembleQueriesUseIndex(t *testing.T) {
+	g, e := sampleEnsembleForIndex(t, 21, 40, 100, 4)
+	if _, err := e.Index(); err != nil {
+		t.Fatal(err)
+	}
+	for u := graph.Node(0); u < graph.Node(g.N()); u += 3 {
+		for v := u; v < graph.Node(g.N()); v += 7 {
+			if got, want := e.Min(u, v), e.minWalk(u, v); got != want {
+				t.Fatalf("Min(%d,%d)=%v, walk %v", u, v, got, want)
+			}
+			if got, want := e.Median(u, v), medianWalkDirect(e.Trees, u, v); got != want {
+				t.Fatalf("Median(%d,%d)=%v, walk %v", u, v, got, want)
+			}
+		}
+	}
+}
+
+// TestTreeIndexRoundTripsThroughIO pins the treeio contract: the index is a
+// deterministic function of the tree, so WriteTree → ReadTreeIndex rebuilds
+// an index structurally identical to one built from the in-memory tree.
+func TestTreeIndexRoundTripsThroughIO(t *testing.T) {
+	_, e := sampleEnsembleForIndex(t, 31, 35, 90, 1)
+	tr := e.Trees[0]
+	want, err := NewTreeIndex(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTree(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTreeIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.n != want.n || got.depth != want.depth || got.stride != want.stride {
+		t.Fatalf("shape differs: n %d/%d depth %d/%d stride %d/%d",
+			got.n, want.n, got.depth, want.depth, got.stride, want.stride)
+	}
+	if !reflect.DeepEqual(got.anc, want.anc) {
+		t.Fatal("ancestor tables differ after IO round trip")
+	}
+	if !reflect.DeepEqual(got.pw, want.pw) {
+		t.Fatal("prefix-weight tables differ after IO round trip")
+	}
+}
+
+// TestTreeIndexRejectsInvalidTrees covers the structural guards: empty
+// trees, unequal leaf depths, and out-of-range pointers must refuse to
+// index (and, matching the Dist edge-case fix, the walk now reports +Inf on
+// unequal depths instead of panicking).
+func TestTreeIndexRejectsInvalidTrees(t *testing.T) {
+	if _, err := NewTreeIndex(&Tree{}); err == nil {
+		t.Fatal("empty tree indexed")
+	}
+	// Root with one leaf child at depth 1 and one at depth 2.
+	uneven := &Tree{
+		Parent:     []int32{-1, 0, 0, 2},
+		EdgeWeight: []float64{0, 2, 4, 2},
+		Center:     []graph.Node{0, 0, 1, 1},
+		Level:      []int32{2, 1, 1, 0},
+		Leaf:       []int32{1, 3},
+		Beta:       1.5,
+	}
+	if err := uneven.Validate(); err == nil {
+		t.Fatal("Validate accepted unequal leaf depths")
+	}
+	if _, err := NewTreeIndex(uneven); err == nil {
+		t.Fatal("unequal-depth tree indexed")
+	}
+	if d := uneven.Dist(0, 1); !math.IsInf(d, 1) {
+		t.Fatalf("Dist on unequal-depth tree = %v, want +Inf", d)
+	}
+	oob := &Tree{
+		Parent:     []int32{-1, 7},
+		EdgeWeight: []float64{0, 1},
+		Center:     []graph.Node{0, 0},
+		Level:      []int32{1, 0},
+		Leaf:       []int32{1},
+	}
+	if _, err := NewTreeIndex(oob); err == nil {
+		t.Fatal("out-of-range parent indexed")
+	}
+	if err := oob.Validate(); err == nil {
+		t.Fatal("Validate accepted out-of-range parent")
+	}
+}
+
+// TestIndexAccessors pins the shape-reporting API.
+func TestIndexAccessors(t *testing.T) {
+	g, e := sampleEnsembleForIndex(t, 81, 25, 60, 3)
+	idx, err := e.Index()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.NumTrees() != 3 || idx.NumLeaves() != g.N() {
+		t.Fatalf("oracle shape: %d trees, %d leaves", idx.NumTrees(), idx.NumLeaves())
+	}
+	maxDepth := 0
+	for _, tr := range e.Trees {
+		if d := tr.Depth(); d > maxDepth {
+			maxDepth = d
+		}
+	}
+	if idx.MaxDepth() != maxDepth {
+		t.Fatalf("MaxDepth = %d, want %d", idx.MaxDepth(), maxDepth)
+	}
+	ti, err := NewTreeIndex(e.Trees[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ti.Tree() != e.Trees[0] || ti.NumLeaves() != g.N() || ti.Depth() != e.Trees[0].Depth() {
+		t.Fatalf("tree index shape: tree %p leaves %d depth %d", ti.Tree(), ti.NumLeaves(), ti.Depth())
+	}
+	if got := len(e.Trees[0].PathToRoot(0)); got != ti.Depth()+1 {
+		t.Fatalf("PathToRoot length %d, want depth+1 = %d", got, ti.Depth()+1)
+	}
+}
+
+// TestEnsembleWalkFallback: an ensemble whose trees the index refuses
+// (structurally invalid) must still answer Min/Median through the parent
+// walk instead of failing or panicking.
+func TestEnsembleWalkFallback(t *testing.T) {
+	uneven := &Tree{
+		Parent:     []int32{-1, 0, 0, 2},
+		EdgeWeight: []float64{0, 2, 4, 2},
+		Center:     []graph.Node{0, 0, 1, 1},
+		Level:      []int32{2, 1, 1, 0},
+		Leaf:       []int32{1, 3},
+		Beta:       1.5,
+	}
+	e := &Ensemble{Trees: []*Tree{uneven}}
+	if _, err := e.Index(); err == nil {
+		t.Fatal("invalid tree indexed")
+	}
+	if d := e.Min(0, 1); !math.IsInf(d, 1) {
+		t.Fatalf("fallback Min = %v, want +Inf (walk on invalid tree)", d)
+	}
+	if d := e.Median(0, 1); !math.IsInf(d, 1) {
+		t.Fatalf("fallback Median = %v, want +Inf", d)
+	}
+}
+
+// TestTreeDepthEmptyTree covers the Leaf[0] guard.
+func TestTreeDepthEmptyTree(t *testing.T) {
+	if d := (&Tree{}).Depth(); d != 0 {
+		t.Fatalf("empty tree depth = %d, want 0", d)
+	}
+}
+
+// TestMinBatchReusesOutput pins the buffer-recycling contract of the
+// batched APIs.
+func TestMinBatchReusesOutput(t *testing.T) {
+	_, e := sampleEnsembleForIndex(t, 41, 20, 50, 3)
+	idx, err := e.Index()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := []Pair{{U: 0, V: 1}, {U: 2, V: 3}}
+	buf := make([]float64, 8)
+	out := idx.MinBatch(pairs, buf)
+	if len(out) != len(pairs) || &out[0] != &buf[0] {
+		t.Fatal("MinBatch did not reuse the supplied buffer")
+	}
+	if out2 := idx.MinBatch(pairs, nil); out2[0] != out[0] || out2[1] != out[1] {
+		t.Fatal("allocating and reusing paths disagree")
+	}
+}
+
+// TestOracleIndexRejectsMismatchedTrees covers the constructor guards.
+func TestOracleIndexRejectsMismatchedTrees(t *testing.T) {
+	if _, err := NewOracleIndex(nil); err == nil {
+		t.Fatal("empty ensemble indexed")
+	}
+	_, e1 := sampleEnsembleForIndex(t, 51, 10, 20, 1)
+	_, e2 := sampleEnsembleForIndex(t, 52, 12, 24, 1)
+	if _, err := NewOracleIndex([]*Tree{e1.Trees[0], e2.Trees[0]}); err == nil {
+		t.Fatal("mismatched node counts indexed")
+	}
+}

@@ -45,8 +45,11 @@ type Tree struct {
 func (t *Tree) NumNodes() int { return len(t.Parent) }
 
 // Depth returns the number of levels from leaf to root (every leaf has the
-// same depth).
+// same depth). An empty tree has depth 0.
 func (t *Tree) Depth() int {
+	if len(t.Leaf) == 0 {
+		return 0
+	}
 	d := 0
 	for u := t.Leaf[0]; u != -1; u = t.Parent[u] {
 		d++
@@ -56,21 +59,27 @@ func (t *Tree) Depth() int {
 
 // Dist returns the tree distance between the leaves of graph nodes u and v:
 // the weight of the unique tree path between them. Both leaves are at equal
-// depth, so the walk climbs in lockstep until the paths merge.
+// depth, so the walk climbs in lockstep until the paths merge. The two
+// half-paths are summed separately, bottom-up, so the result is bitwise
+// identical to TreeIndex.Dist, which answers from per-leaf prefix sums.
+//
+// On a tree violating the uniform-leaf-depth invariant (a structural error
+// that Validate reports) Dist returns +Inf rather than panicking.
 func (t *Tree) Dist(u, v graph.Node) float64 {
 	if u == v {
 		return 0
 	}
 	a, b := t.Leaf[u], t.Leaf[v]
-	total := 0.0
+	var du, dv float64
 	for a != b {
-		total += t.EdgeWeight[a] + t.EdgeWeight[b]
-		a, b = t.Parent[a], t.Parent[b]
 		if a == -1 || b == -1 {
-			panic("frt: leaves at unequal depth")
+			return math.Inf(1) // leaves at unequal depth; see Validate
 		}
+		du += t.EdgeWeight[a]
+		dv += t.EdgeWeight[b]
+		a, b = t.Parent[a], t.Parent[b]
 	}
-	return total
+	return du + dv
 }
 
 // PathToRoot returns the tree nodes from v's leaf up to the root.
@@ -82,16 +91,28 @@ func (t *Tree) PathToRoot(v graph.Node) []int32 {
 	return out
 }
 
-// Validate checks the structural invariants of the tree: a single root,
-// acyclic parent pointers, leaves at uniform depth, positive edge weights,
-// and centers consistent with levels. It returns nil if all hold.
+// Validate checks the structural invariants of the tree: consistent array
+// lengths, a single root, acyclic parent pointers, leaves in range and at
+// uniform depth, positive edge weights, and centers consistent with levels.
+// It returns nil if all hold; it never panics, so it is safe to call on
+// trees assembled from untrusted input (ReadTree relies on this).
 func (t *Tree) Validate() error {
 	n := len(t.Leaf)
 	if t.NumNodes() == 0 {
 		return fmt.Errorf("empty tree")
 	}
+	if len(t.EdgeWeight) != t.NumNodes() || len(t.Center) != t.NumNodes() || len(t.Level) != t.NumNodes() {
+		return fmt.Errorf("inconsistent array lengths: %d parents, %d weights, %d centers, %d levels",
+			t.NumNodes(), len(t.EdgeWeight), len(t.Center), len(t.Level))
+	}
 	roots := 0
 	for u, p := range t.Parent {
+		if p < -1 || int(p) >= t.NumNodes() {
+			return fmt.Errorf("tree node %d: parent %d out of range", u, p)
+		}
+		if int32(u) == p {
+			return fmt.Errorf("tree node %d is its own parent", u)
+		}
 		if p == -1 {
 			roots++
 			if t.EdgeWeight[u] != 0 {
@@ -99,8 +120,10 @@ func (t *Tree) Validate() error {
 			}
 			continue
 		}
-		if t.EdgeWeight[u] <= 0 {
-			return fmt.Errorf("tree node %d: non-positive edge weight %v", u, t.EdgeWeight[u])
+		// The negated comparison also rejects NaN, which would otherwise
+		// slip past a plain <= 0 test and poison every distance query.
+		if !(t.EdgeWeight[u] > 0) || math.IsInf(t.EdgeWeight[u], 1) {
+			return fmt.Errorf("tree node %d: edge weight %v not positive and finite", u, t.EdgeWeight[u])
 		}
 		if t.Level[p] != t.Level[u]+1 {
 			return fmt.Errorf("tree node %d: level %d but parent level %d", u, t.Level[u], t.Level[p])
@@ -111,6 +134,9 @@ func (t *Tree) Validate() error {
 	}
 	depth := -1
 	for v := 0; v < n; v++ {
+		if t.Leaf[v] < 0 || int(t.Leaf[v]) >= t.NumNodes() {
+			return fmt.Errorf("leaf of %d out of range: %d", v, t.Leaf[v])
+		}
 		d := 0
 		for u := t.Leaf[v]; u != -1; u = t.Parent[u] {
 			d++

@@ -16,7 +16,11 @@ import (
 //	n <id> <parent> <level> <center> <edgeWeight>    (one per tree node)
 //	l <graphNode> <treeNode>                         (one per leaf)
 //
-// Parents use -1 for the root; ids are dense and 0-based.
+// Parents use -1 for the root; ids are dense and 0-based. Node lines must
+// appear in id order (0, 1, 2, …) and leaf lines in graph-node order — the
+// order WriteTree emits. The sequential requirement lets ReadTree allocate
+// in step with the input it has actually consumed, so a hostile header
+// declaring huge counts cannot make it over-allocate.
 
 // WriteTree serialises t.
 func WriteTree(w io.Writer, t *Tree) error {
@@ -38,13 +42,20 @@ func WriteTree(w io.Writer, t *Tree) error {
 	return bw.Flush()
 }
 
+// maxTreeRecords caps the declared record counts of a serialised tree: tree
+// node ids are int32, so anything larger cannot round-trip anyway.
+const maxTreeRecords = 1<<31 - 1
+
 // ReadTree parses a serialised tree and validates its structural
-// invariants.
+// invariants. It is hardened against hostile input (the FuzzReadTree
+// target): malformed, truncated, or adversarial bytes yield an error —
+// never a panic — and memory grows only in proportion to the input actually
+// consumed, never to the counts a header merely declares.
 func ReadTree(r io.Reader) (*Tree, error) {
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	sc.Buffer(make([]byte, 64*1024), 1<<24)
 	var t *Tree
-	seenNodes := 0
+	declaredNodes, declaredLeaves := 0, 0
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -65,17 +76,14 @@ func ReadTree(r io.Reader) (*Tree, error) {
 			if nt <= 0 || nl <= 0 {
 				return nil, fmt.Errorf("line %d: non-positive sizes", lineNo)
 			}
-			t = &Tree{
-				Parent:     make([]int32, nt),
-				EdgeWeight: make([]float64, nt),
-				Center:     make([]graph.Node, nt),
-				Level:      make([]int32, nt),
-				Leaf:       make([]int32, nl),
-				Beta:       beta,
+			if nt > maxTreeRecords || nl > maxTreeRecords {
+				return nil, fmt.Errorf("line %d: sizes exceed int32 range", lineNo)
 			}
-			for i := range t.Leaf {
-				t.Leaf[i] = -1
+			if nl > nt {
+				return nil, fmt.Errorf("line %d: more leaves (%d) than tree nodes (%d)", lineNo, nl, nt)
 			}
+			declaredNodes, declaredLeaves = nt, nl
+			t = &Tree{Beta: beta}
 		case strings.HasPrefix(line, "n "):
 			if t == nil {
 				return nil, fmt.Errorf("line %d: node before header", lineNo)
@@ -85,14 +93,17 @@ func ReadTree(r io.Reader) (*Tree, error) {
 			if _, err := fmt.Sscanf(line, "n %d %d %d %d %g", &id, &parent, &level, &center, &w); err != nil {
 				return nil, fmt.Errorf("line %d: bad node: %v", lineNo, err)
 			}
-			if id < 0 || id >= t.NumNodes() || parent < -1 || parent >= t.NumNodes() {
-				return nil, fmt.Errorf("line %d: id/parent out of range", lineNo)
+			if id != len(t.Parent) || id >= declaredNodes {
+				return nil, fmt.Errorf("line %d: node id %d out of order or range (next is %d of %d)",
+					lineNo, id, len(t.Parent), declaredNodes)
 			}
-			t.Parent[id] = int32(parent)
-			t.Level[id] = int32(level)
-			t.Center[id] = graph.Node(center)
-			t.EdgeWeight[id] = w
-			seenNodes++
+			if parent < -1 || parent >= declaredNodes {
+				return nil, fmt.Errorf("line %d: parent out of range", lineNo)
+			}
+			t.Parent = append(t.Parent, int32(parent))
+			t.Level = append(t.Level, int32(level))
+			t.Center = append(t.Center, graph.Node(center))
+			t.EdgeWeight = append(t.EdgeWeight, w)
 		case strings.HasPrefix(line, "l "):
 			if t == nil {
 				return nil, fmt.Errorf("line %d: leaf before header", lineNo)
@@ -101,10 +112,14 @@ func ReadTree(r io.Reader) (*Tree, error) {
 			if _, err := fmt.Sscanf(line, "l %d %d", &v, &leaf); err != nil {
 				return nil, fmt.Errorf("line %d: bad leaf: %v", lineNo, err)
 			}
-			if v < 0 || v >= len(t.Leaf) || leaf < 0 || leaf >= t.NumNodes() {
+			if v != len(t.Leaf) || v >= declaredLeaves {
+				return nil, fmt.Errorf("line %d: leaf node %d out of order or range (next is %d of %d)",
+					lineNo, v, len(t.Leaf), declaredLeaves)
+			}
+			if leaf < 0 || leaf >= declaredNodes {
 				return nil, fmt.Errorf("line %d: leaf out of range", lineNo)
 			}
-			t.Leaf[v] = int32(leaf)
+			t.Leaf = append(t.Leaf, int32(leaf))
 		default:
 			return nil, fmt.Errorf("line %d: unrecognised line %q", lineNo, line)
 		}
@@ -115,18 +130,28 @@ func ReadTree(r io.Reader) (*Tree, error) {
 	if t == nil {
 		return nil, fmt.Errorf("missing header")
 	}
-	if seenNodes != t.NumNodes() {
-		return nil, fmt.Errorf("header declares %d tree nodes, found %d", t.NumNodes(), seenNodes)
+	if len(t.Parent) != declaredNodes {
+		return nil, fmt.Errorf("header declares %d tree nodes, found %d", declaredNodes, len(t.Parent))
 	}
-	for v, leaf := range t.Leaf {
-		if leaf == -1 {
-			return nil, fmt.Errorf("graph node %d has no leaf", v)
-		}
+	if len(t.Leaf) != declaredLeaves {
+		return nil, fmt.Errorf("header declares %d leaves, found %d", declaredLeaves, len(t.Leaf))
 	}
 	if err := t.Validate(); err != nil {
 		return nil, fmt.Errorf("invalid tree: %v", err)
 	}
 	return t, nil
+}
+
+// ReadTreeIndex parses a serialised tree and preprocesses it for querying.
+// The index is a deterministic function of the tree, so an index
+// round-trips through WriteTree/ReadTreeIndex: the rebuilt index is
+// structurally identical to one built from the original in-memory tree.
+func ReadTreeIndex(r io.Reader) (*TreeIndex, error) {
+	t, err := ReadTree(r)
+	if err != nil {
+		return nil, err
+	}
+	return NewTreeIndex(t)
 }
 
 // ToGraph converts the tree into an explicit weighted graph whose first

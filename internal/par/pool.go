@@ -1,0 +1,25 @@
+package par
+
+import "sync"
+
+// Pool is a typed free-list of scratch values, a thin generic wrapper over
+// sync.Pool. Batched query paths (e.g. frt.OracleIndex.MedianBatch) run one
+// body per item under ForEach and borrow per-item scratch from a Pool so that
+// steady-state serving allocates nothing regardless of batch size or
+// MaxProcs.
+type Pool[T any] struct {
+	// New produces a fresh value when the pool is empty (required).
+	New func() T
+	p   sync.Pool
+}
+
+// Get returns a pooled value, or New() when none is available.
+func (p *Pool[T]) Get() T {
+	if v := p.p.Get(); v != nil {
+		return v.(T)
+	}
+	return p.New()
+}
+
+// Put returns a value to the pool for reuse.
+func (p *Pool[T]) Put(v T) { p.p.Put(v) }

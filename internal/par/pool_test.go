@@ -1,0 +1,48 @@
+package par
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPoolReusesValues(t *testing.T) {
+	calls := 0
+	p := Pool[*[]int]{New: func() *[]int {
+		calls++
+		s := make([]int, 4)
+		return &s
+	}}
+	v := p.Get()
+	if calls != 1 || len(*v) != 4 {
+		t.Fatalf("first Get: calls=%d len=%d", calls, len(*v))
+	}
+	p.Put(v)
+	if got := p.Get(); got != v {
+		// sync.Pool may drop values under GC pressure, but in a quiet
+		// unit test an immediate Get must return the value just Put.
+		t.Fatal("Put value not reused")
+	}
+	if calls != 1 {
+		t.Fatalf("New called %d times, want 1", calls)
+	}
+}
+
+func TestPoolConcurrentAccess(t *testing.T) {
+	p := Pool[*[]byte]{New: func() *[]byte {
+		b := make([]byte, 16)
+		return &b
+	}}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				b := p.Get()
+				(*b)[0] = byte(i)
+				p.Put(b)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -95,6 +95,14 @@ func SampleTree(g *Graph, seed uint64) (*Embedding, error) {
 	return frt.Sample(g, frt.Options{RNG: par.NewRNG(seed)})
 }
 
+// SampleTreeOnGraph draws one FRT tree by computing LE lists directly on g
+// (the parallel form of the Khan et al. algorithm, §8.1): depth Θ(SPD(G))
+// instead of polylog, but with a small constant factor — the quick way to
+// sample ensembles of moderate graphs, e.g. for the oracle example.
+func SampleTreeOnGraph(g *Graph, seed uint64) (*Embedding, error) {
+	return frt.SampleOnGraph(g, par.NewRNG(seed), nil)
+}
+
 // SampleTreeExact draws one FRT tree of g's exact metric (solving APSP
 // first): the simple Θ(n²)-work baseline. Prefer SampleTree for large
 // sparse graphs.
@@ -184,6 +192,22 @@ type Ensemble = frt.Ensemble
 // EnsembleStats summarises an ensemble's Min estimator against exact
 // distances (see frt.EnsembleStats for field semantics).
 type EnsembleStats = frt.EnsembleStats
+
+// OracleIndex is the batched query service over an ensemble: trees are
+// preprocessed into flat level-ancestor and prefix-weight tables so Min
+// costs O(trees · log depth) array lookups, and MinBatch/MedianBatch
+// answer pair slices in parallel. Obtain one from (*Ensemble).Index().
+type OracleIndex = frt.OracleIndex
+
+// TreeIndex preprocesses a single FRT tree for O(log depth) pointer-free
+// distance queries (bitwise identical to Tree.Dist).
+type TreeIndex = frt.TreeIndex
+
+// NewTreeIndex preprocesses t in O(n · depth).
+func NewTreeIndex(t *Tree) (*TreeIndex, error) { return frt.NewTreeIndex(t) }
+
+// Pair is a distance-query pair for the batched oracle APIs.
+type Pair = frt.Pair
 
 // Embedder runs the tree-independent pipeline stages (hop set, simulated
 // graph H, oracle) once per graph and then draws any number of FRT trees
