@@ -55,10 +55,11 @@ bench-graph:
 		'{date: $$date, commit: $$commit, bench: .}' >> BENCH_graph.json
 
 ## MBF-engine benchmarks (k-way aggregation fast path vs generic fold,
-## source detection, oracle iteration, embedder sampling); each run appends
-## one JSON line to BENCH_mbf.json.
+## sparse frontier engine vs dense fixpoint loop, source detection, oracle
+## iteration, embedder sampling); each run appends one JSON line to
+## BENCH_mbf.json.
 bench-mbf:
-	@out="$$($(GO) test ./internal/mbf/ ./internal/simgraph/ ./internal/frt/ -run xxx -bench 'Iterate4096|IterateGeneric4096|SourceDetection4096|SSSPIteration|KSSP$$|OracleIterate|LEListsOnGraph|EmbedderSample' -benchmem)" \
+	@out="$$($(GO) test ./internal/mbf/ ./internal/simgraph/ ./internal/frt/ -run xxx -bench 'Iterate4096|IterateGeneric4096|IterateSparse4096|FixpointSparse4096|FixpointDense4096|SourceDetection4096|SSSPIteration|KSSP$$|OracleIterate|LEListsOnGraph|EmbedderSample' -benchmem)" \
 		|| { echo "$$out"; echo "bench-mbf: go test failed"; exit 1; }; \
 	echo "$$out"; \
 	echo "$$out" | grep '^Benchmark' | jq -R . | jq -sc \

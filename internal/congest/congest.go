@@ -84,29 +84,25 @@ func maxListLen(x []semiring.DistMap) int {
 
 // Khan runs the algorithm of Khan et al. [26] (§8.1): LE-list MBF-like
 // iterations on G until the fixpoint, costing O(SPD(G)·log n) rounds w.h.p.
+//
+// The simulation is frontier-driven: each step re-aggregates only the nodes
+// an LE-list change can reach, and the fixpoint is detected when the
+// frontier empties — no full-vector comparison. The round accounting is
+// unchanged: the algorithm as analysed broadcasts every node's filtered
+// list each iteration, so every iteration still costs max_v |x_v| rounds;
+// sparsity only makes the simulation itself faster.
 func Khan(g *graph.Graph, rng *par.RNG) *Result {
 	n := g.N()
 	order := frt.NewOrder(n, rng)
 	runner := leRunner(g, order, 1)
-	mod := semiring.DistMapModule{}
 
 	x := runner.Run(frt.InitialStates(n), 0)
+	frontier := runner.Frontier(x)
 	rounds, iters := 0, 0
-	for {
+	for len(frontier) > 0 {
 		rounds += maxListLen(x)
-		next := runner.Iterate(x)
+		x, frontier = runner.IterateDelta(x, frontier)
 		iters++
-		same := true
-		for v := range x {
-			if !mod.Equal(x[v], next[v]) {
-				same = false
-				break
-			}
-		}
-		x = next
-		if same {
-			break
-		}
 		if iters > n {
 			break
 		}
@@ -194,7 +190,11 @@ func Skeleton(g *graph.Graph, rng *par.RNG, opts SkeletonOptions) *Result {
 	rounds += sp.M() + diameter
 
 	// Locally (zero rounds): LE lists of the spanner overlay restricted to
-	// skeleton sources, x̄ = r^V A^{|S|}_{G'_S} x(0).
+	// skeleton sources, x̄ = r^V A^{|S|}_{G'_S} x(0), via the sparse
+	// frontier engine. Every node seeds the frontier (each knows itself at
+	// distance 0), but non-skeleton nodes are isolated in the spanner, so
+	// they fall out after the first step and the remaining iterations run
+	// on skeleton-sized frontiers.
 	spannerRunner := leRunner(sp, order, 1)
 	xbar, _ := spannerRunner.RunToFixpoint(frt.InitialStates(n), len(skeleton)+1)
 

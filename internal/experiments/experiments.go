@@ -152,7 +152,8 @@ func E2SPDH(cfg Config) *Table {
 		h := simgraph.Build(hs, 0, rng)
 		spdH := graph.SPD(h.Materialize())
 		// Oracle iterations to the APSP fixpoint equal SPD(H)+O(1) as seen
-		// through the decomposition.
+		// through the decomposition (the count includes the final iteration
+		// that confirms the fixpoint).
 		oracle := simgraph.NewOracle(h, nil)
 		_, iters := oracle.RunToFixpoint(frt.InitialStates(n), semiring.Identity[semiring.DistMap](), simgraph.MaxIters(n))
 		l := math.Log2(float64(n))

@@ -124,7 +124,8 @@ func InitialStates(n int) []semiring.DistMap {
 // parallel form of the Khan et al. algorithm (§8.1). It takes O(SPD(G))
 // iterations and is the baseline that the oracle-based computation on H
 // beats when SPD(G) is large. The returned iteration count is the number of
-// iterations until the fixpoint.
+// sparse iterations performed, including the final one that confirms the
+// fixpoint (see mbf.Runner.RunToFixpoint).
 func LEListsOnGraph(g *graph.Graph, order *Order, tracker *par.Tracker) ([]semiring.DistMap, int) {
 	runner := &mbf.Runner[float64, semiring.DistMap]{
 		Graph:         g,

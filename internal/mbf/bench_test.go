@@ -57,6 +57,75 @@ func BenchmarkIterateGeneric4096(b *testing.B) {
 	}
 }
 
+// fixpointBenchRunner builds the OracleIterate-style fixpoint workload at
+// n=4096: ({s}, ∞, ∞, 8) source detection run to its fixpoint on a 64×64
+// grid — the loop shape of the §5 oracle's per-level inner runs and of
+// LE-list computations, on the kind of high-SPD topology those fixpoints
+// are slow on. Distance information moves outward from the source as a
+// wavefront over SPD ≈ 100+ iterations, so the dense engine re-aggregates
+// thousands of already-stable states per step while the frontier engine
+// touches only the wave.
+func fixpointBenchRunner() (*Runner[float64, semiring.DistMap], []semiring.DistMap) {
+	g := graph.GridGraph(64, 64, 8, par.NewRNG(9))
+	r := &Runner[float64, semiring.DistMap]{
+		Graph:         g,
+		Module:        semiring.DistMapModule{},
+		Filter:        semiring.TopKFilter(8, semiring.Inf, nil),
+		FilterInPlace: semiring.TopKFilterInPlace(8, semiring.Inf, nil),
+		Weight:        MinPlusWeight,
+	}
+	x0 := make([]semiring.DistMap, g.N())
+	x0[0] = semiring.DistMap{{Node: 0, Dist: 0}}
+	return r, x0
+}
+
+// BenchmarkFixpointSparse4096 measures the frontier-driven sparse fixpoint
+// loop; BenchmarkFixpointDense4096 is the dense reference on the identical
+// workload. Their ratio is the headline number of the sparse engine.
+func BenchmarkFixpointSparse4096(b *testing.B) {
+	r, x0 := fixpointBenchRunner()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.RunToFixpoint(x0, r.Graph.N())
+	}
+}
+
+func BenchmarkFixpointDense4096(b *testing.B) {
+	r, x0 := fixpointBenchRunner()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.RunToFixpointDense(x0, r.Graph.N())
+	}
+}
+
+// BenchmarkIterateSparse4096 measures one sparse step in the middle of a
+// fixpoint run: the states are advanced 64 steps into the ~130-step grid
+// wavefront, then one IterateDelta over that mid-run frontier (a wave of a
+// few hundred nodes) is timed — the steady-state cost the sparse engine
+// pays where the dense engine would re-aggregate all n nodes. The timed
+// call goes through the pure public API, so it includes the n-length
+// header copy that RunToFixpoint's in-place internal steps avoid.
+func BenchmarkIterateSparse4096(b *testing.B) {
+	r, x := fixpointBenchRunner()
+	for v := range x {
+		x[v] = r.filter(x[v])
+	}
+	frontier := r.Frontier(x)
+	for i := 0; i < 64; i++ {
+		x, frontier = r.IterateDelta(x, frontier)
+		if len(frontier) == 0 {
+			b.Fatal("fixpoint reached before the mid-run step")
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.IterateDelta(x, frontier)
+	}
+}
+
 // BenchmarkSourceDetection4096 measures the whole Example 3.2 algorithm at
 // n=4096: 8 iterations of k=8 source detection, end to end.
 func BenchmarkSourceDetection4096(b *testing.B) {

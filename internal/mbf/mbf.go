@@ -15,10 +15,39 @@
 // non-edges (nothing propagates). Corollary 2.17 (r^V ∼ id) lets the engine
 // filter after every iteration without changing the output; this is what
 // keeps intermediate states small and the work near-linear.
+//
+// # Frontier-driven sparse fixpoint engine
+//
+// Fixpoint loops (r^V A x iterated until the states stop changing, which
+// happens after at most SPD(G) hops for the distance algebras) spend their
+// late iterations re-deriving states that are already stable: x'(v) depends
+// only on x at v and at v's neighbors, so if none of those states changed in
+// the previous iteration, recomputing v reproduces x(v) exactly. The sparse
+// engine exploits this with change propagation:
+//
+//   - the frontier after an iteration is the set of nodes whose filtered
+//     state changed in that iteration;
+//   - the next iteration re-aggregates only the affected nodes — every
+//     frontier node (its own state feeds its next state through the
+//     diagonal) plus every node with a frontier node among its in-neighbors
+//     (graph.Graph.InNeighbors, the transpose view, which is the graph
+//     itself for the symmetric graphs this library builds);
+//   - all other nodes keep their state, which IterateDelta never touches.
+//
+// The initial frontier is the set of nodes whose filtered x(0) is non-⊥: a
+// node that is ⊥ with an all-⊥ in-neighborhood stays ⊥, because the
+// semimodule is zero-preserving and the filter is a representative
+// projection with r(⊥) = ⊥ (RunToFixpoint verifies r(⊥) = ⊥ at runtime and
+// falls back to the dense loop otherwise). The fixpoint is reached exactly
+// when the frontier empties — no separate state-vector comparison pass is
+// needed — and the states produced are identical, per Module.Equal at every
+// node after every iteration, to those of the dense engine
+// (RunToFixpointDense, kept as the differential-test reference).
 package mbf
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"parmbf/internal/graph"
 	"parmbf/internal/par"
@@ -52,13 +81,29 @@ type Runner[S, M any] struct {
 	// number of non-∞ entries of a distance map, Lemma 2.3). It is used for
 	// work accounting only; nil means size 1 per state.
 	Size func(M) int
+	// PropagatedSize, if non-nil, returns Size(Module.SMul(s, x)) without
+	// materialising the propagated state. The aggregation fast path uses it
+	// to charge the Tracker exactly what the generic fold charges for a
+	// propagated term; nil approximates by Size(x), which is exact for the
+	// shift-style modules of this library (DistMap, WidthMap, BoolSet, the
+	// scalar algebras) whenever Weight never returns the semiring zero — a
+	// dead edge, whose SMul collapses the state to ⊥. Set it when a custom
+	// Weight can return the zero and exact work accounting matters.
+	PropagatedSize func(s S, x M) int
 	// Tracker, if non-nil, is charged the work/depth of every iteration in
-	// the DAG cost model of §1.2.
+	// the DAG cost model of §1.2. Sparse iterations (IterateDelta) charge
+	// only the nodes they actually re-aggregate — the work performed, not
+	// the work a dense iteration would have performed.
 	Tracker *par.Tracker
 
 	// scratch recycles per-worker buffers of the aggregation fast path, so
 	// steady-state iterations allocate only the output states.
 	scratch sync.Pool // *iterScratch[S, M]
+	// deltaPool recycles the frontier bookkeeping of the sparse engine
+	// across IterateDelta calls, so external fixpoint drivers (e.g. the
+	// Congest simulation, which needs per-step round accounting) iterate
+	// as cheaply as RunToFixpoint's internal loop.
+	deltaPool sync.Pool // *deltaScratch
 }
 
 // iterScratch is one worker's reusable aggregation state: the term buffer
@@ -73,6 +118,13 @@ func (r *Runner[S, M]) size(x M) int {
 		return 1
 	}
 	return r.Size(x)
+}
+
+func (r *Runner[S, M]) propagatedSize(s S, x M) int {
+	if r.PropagatedSize != nil {
+		return r.PropagatedSize(s, x)
+	}
+	return r.size(x)
 }
 
 func (r *Runner[S, M]) filter(x M) M {
@@ -91,6 +143,78 @@ func (r *Runner[S, M]) filterOwned(x M) M {
 	return r.filter(x)
 }
 
+// recompute derives one node's next state x'(v) = r(x(v) ⊕ ⊕_w a_vw ⊙ x(w))
+// — through the k-way aggregation fast path when the module provides one,
+// through the generic Add/SMul fold otherwise — and returns it together with
+// the work to charge for the node (0 when no Tracker is attached). Both
+// paths charge identically: the node's own state, every propagated state,
+// and the filtered output.
+func (r *Runner[S, M]) recompute(vi int, x []M, agg semiring.Aggregator[S, M], fast bool) (M, int64) {
+	g := r.Graph
+	v := graph.Node(vi)
+	var work int64
+	if fast {
+		st, _ := r.scratch.Get().(*iterScratch[S, M])
+		if st == nil {
+			st = new(iterScratch[S, M])
+		}
+		terms := st.terms[:0]
+		for _, a := range g.Neighbors(v) {
+			terms = append(terms, semiring.Term[S, M]{S: r.Weight(v, a.To, a.Weight), X: x[a.To]})
+		}
+		acc := agg.Aggregate(&st.sc, x[vi], terms)
+		out := r.filterOwned(acc)
+		if r.Tracker != nil {
+			work = int64(r.size(x[vi]))
+			for _, t := range terms {
+				work += int64(r.propagatedSize(t.S, t.X))
+			}
+			work += int64(r.size(out))
+		}
+		var zero semiring.Term[S, M]
+		for i := range terms {
+			terms[i] = zero // drop state references before pooling
+		}
+		st.terms = terms[:0]
+		r.scratch.Put(st)
+		return out, work
+	}
+	// Diagonal term: a_{vv} = 1, so the node keeps its own state.
+	acc := x[vi]
+	if r.Tracker != nil {
+		work = int64(r.size(acc))
+	}
+	for _, a := range g.Neighbors(v) {
+		// Propagate the neighbor's state over the edge, then aggregate.
+		s := r.Weight(v, a.To, a.Weight)
+		propagated := r.Module.SMul(s, x[a.To])
+		acc = r.Module.Add(acc, propagated)
+		if r.Tracker != nil {
+			work += int64(r.size(propagated))
+		}
+	}
+	out := r.filter(acc)
+	if r.Tracker != nil {
+		work += int64(r.size(out))
+	}
+	return out, work
+}
+
+// chargePhase sums the per-node work of one (possibly sparse) iteration and
+// charges it to the Tracker as a parallel phase. Aggregation of k items
+// costs O(log k) depth (Lemma 2.3); we charge one depth unit per iteration
+// since sizes are polylogarithmic after filtering.
+func (r *Runner[S, M]) chargePhase(workPerNode []int64) {
+	if r.Tracker == nil {
+		return
+	}
+	var total int64
+	for _, w := range workPerNode {
+		total += w
+	}
+	r.Tracker.AddPhase(total, 1)
+}
+
 // Iterate performs one MBF-like iteration x ↦ r^V(Ax), parallelised over
 // nodes. The input is not modified.
 //
@@ -101,8 +225,7 @@ func (r *Runner[S, M]) filterOwned(x M) M {
 // generic Add/SMul fold of Definition 2.11 runs; both paths compute the same
 // states.
 func (r *Runner[S, M]) Iterate(x []M) []M {
-	g := r.Graph
-	n := g.N()
+	n := r.Graph.N()
 	if len(x) != n {
 		panic("mbf: state vector length does not match graph size")
 	}
@@ -113,66 +236,234 @@ func (r *Runner[S, M]) Iterate(x []M) []M {
 	}
 	agg, fast := r.Module.(semiring.Aggregator[S, M])
 	par.ForEach(n, func(vi int) {
-		v := graph.Node(vi)
-		if fast {
-			st, _ := r.scratch.Get().(*iterScratch[S, M])
-			if st == nil {
-				st = new(iterScratch[S, M])
-			}
-			terms := st.terms[:0]
-			for _, a := range g.Neighbors(v) {
-				terms = append(terms, semiring.Term[S, M]{S: r.Weight(v, a.To, a.Weight), X: x[a.To]})
-			}
-			acc := agg.Aggregate(&st.sc, x[vi], terms)
-			out[vi] = r.filterOwned(acc)
-			if workPerNode != nil {
-				// Charge the same quantities as the generic path: every
-				// propagated state (its size approximated by the input
-				// state's — exact for the shift-style algebras), the node's
-				// own state, and the filtered output.
-				work := int64(r.size(x[vi]))
-				for _, t := range terms {
-					work += int64(r.size(t.X))
-				}
-				workPerNode[vi] = work + int64(r.size(out[vi]))
-			}
-			var zero semiring.Term[S, M]
-			for i := range terms {
-				terms[i] = zero // drop state references before pooling
-			}
-			st.terms = terms[:0]
-			r.scratch.Put(st)
-			return
-		}
-		// Diagonal term: a_{vv} = 1, so the node keeps its own state.
-		acc := x[vi]
-		work := int64(r.size(acc))
-		for _, a := range g.Neighbors(v) {
-			// Propagate the neighbor's state over the edge, then aggregate.
-			s := r.Weight(v, a.To, a.Weight)
-			propagated := r.Module.SMul(s, x[a.To])
-			acc = r.Module.Add(acc, propagated)
-			work += int64(r.size(propagated))
-		}
-		out[vi] = r.filter(acc)
+		st, work := r.recompute(vi, x, agg, fast)
+		out[vi] = st
 		if workPerNode != nil {
-			workPerNode[vi] = work + int64(r.size(out[vi]))
+			workPerNode[vi] = work
 		}
 	})
-	if r.Tracker != nil {
-		var total, max int64
-		for _, w := range workPerNode {
-			total += w
-			if w > max {
-				max = w
+	r.chargePhase(workPerNode)
+	return out
+}
+
+// deltaScratch holds the reusable frontier bookkeeping of the sparse engine:
+// the candidate mark bits, the candidate list, the per-candidate change
+// flags, and the per-candidate recomputed states (buffered so the write-back
+// can happen after the parallel read phase, letting the driver update its
+// vector in place). One instance serves a whole RunToFixpoint loop.
+type deltaScratch[M any] struct {
+	touched []bool
+	cand    []graph.Node
+	changed []bool
+	states  []M
+	work    []int64
+}
+
+// getDelta pops a pooled deltaScratch sized for the runner's graph (the
+// mark array must have one bit per node), allocating on first use. Callers
+// return it with putDelta; iterateDelta leaves every mark cleared and every
+// buffered state reference dropped, so a pooled scratch is always ready.
+func (r *Runner[S, M]) getDelta(n int) *deltaScratch[M] {
+	ds, _ := r.deltaPool.Get().(*deltaScratch[M])
+	if ds == nil || len(ds.touched) != n {
+		ds = &deltaScratch[M]{touched: make([]bool, n)}
+	}
+	return ds
+}
+
+func (r *Runner[S, M]) putDelta(ds *deltaScratch[M]) { r.deltaPool.Put(ds) }
+
+// IterateDelta performs one sparse MBF-like iteration: given that frontier
+// lists every node whose state changed in the previous iteration (for the
+// first iteration: every node with a non-⊥ filtered state, see Frontier),
+// it re-aggregates only the affected nodes — frontier nodes and nodes with
+// a frontier node among their in-neighbors — and returns the next state
+// vector together with the next frontier, in ascending discovery order.
+// Unaffected nodes keep their state value (the returned vector aliases
+// them; states are shared immutable values). The input vector is not
+// modified — the purity costs one n-length header copy, which
+// RunToFixpoint's internal loop avoids by updating its own vector in
+// place, so a sparse step there is O(affected), not Ω(n).
+//
+// IterateDelta(x, frontier) equals Iterate(x) node-for-node whenever the
+// frontier invariant holds, and the returned frontier is exactly the set of
+// nodes at which the two vectors differ. Duplicate frontier entries are
+// tolerated.
+func (r *Runner[S, M]) IterateDelta(x []M, frontier []graph.Node) ([]M, []graph.Node) {
+	if len(x) != r.Graph.N() {
+		panic("mbf: state vector length does not match graph size")
+	}
+	out := make([]M, len(x))
+	copy(out, x)
+	ds := r.getDelta(len(x))
+	next := r.iterateDelta(out, frontier, ds)
+	r.putDelta(ds)
+	return out, next
+}
+
+// iterateDelta is the in-place sparse step: it recomputes the affected
+// nodes of x (reading the vector concurrently, buffering the results in
+// ds.states) and then writes the changed states back into x, returning the
+// next frontier. The caller must own x exclusively.
+func (r *Runner[S, M]) iterateDelta(x []M, frontier []graph.Node, ds *deltaScratch[M]) []graph.Node {
+	g := r.Graph
+	// Candidates: the frontier plus everyone reading a frontier node's
+	// state. Node v aggregates x over its out-arcs, so a change at u feeds
+	// exactly the nodes with an arc into u — u's in-neighbors (the
+	// transpose view; the graph itself when symmetric).
+	cand := ds.cand[:0]
+	for _, u := range frontier {
+		if !ds.touched[u] {
+			ds.touched[u] = true
+			cand = append(cand, u)
+		}
+		for _, a := range g.InNeighbors(u) {
+			if !ds.touched[a.To] {
+				ds.touched[a.To] = true
+				cand = append(cand, a.To)
 			}
 		}
-		// Aggregation of k items costs O(log k) depth (Lemma 2.3); we charge
-		// one depth unit per iteration plus the critical node's log-factor,
-		// approximated by 1 since sizes are polylogarithmic after filtering.
-		r.Tracker.AddPhase(total, 1)
 	}
-	return out
+	changed := ds.changed[:0]
+	states := ds.states[:0]
+	var zeroM M
+	for range cand {
+		changed = append(changed, false)
+		states = append(states, zeroM)
+	}
+	var workPerNode []int64
+	if r.Tracker != nil {
+		workPerNode = ds.work[:0]
+		for range cand {
+			workPerNode = append(workPerNode, 0)
+		}
+	}
+	agg, fast := r.Module.(semiring.Aggregator[S, M])
+	par.ForEach(len(cand), func(i int) {
+		v := cand[i]
+		st, work := r.recompute(int(v), x, agg, fast)
+		if workPerNode != nil {
+			workPerNode[i] = work
+		}
+		if !r.Module.Equal(st, x[v]) {
+			states[i] = st
+			changed[i] = true
+		}
+	})
+	r.chargePhase(workPerNode)
+	// Write-back after the parallel read phase: no candidate may observe a
+	// neighbor's new state mid-iteration.
+	next := make([]graph.Node, 0, len(cand))
+	for i, v := range cand {
+		if changed[i] {
+			x[v] = states[i]
+			next = append(next, v)
+		}
+		states[i] = zeroM // drop state references before pooling
+		ds.touched[v] = false
+	}
+	ds.cand, ds.changed, ds.states = cand[:0], changed[:0], states[:0]
+	if workPerNode != nil {
+		ds.work = workPerNode[:0]
+	}
+	return next
+}
+
+// Frontier returns the nodes whose state differs from ⊥ — the seed frontier
+// of a sparse fixpoint loop over an already-filtered state vector.
+func (r *Runner[S, M]) Frontier(x []M) []graph.Node {
+	zero := r.Module.Zero()
+	var f []graph.Node
+	for v := range x {
+		if !r.Module.Equal(x[v], zero) {
+			f = append(f, graph.Node(v))
+		}
+	}
+	return f
+}
+
+// zeroStable reports whether the filter maps ⊥ to ⊥ — the property the
+// sparse engine needs so that untouched all-⊥ neighborhoods provably stay
+// ⊥. Every representative projection in this library satisfies it; a custom
+// filter that does not sends RunToFixpoint to the dense loop.
+func (r *Runner[S, M]) zeroStable() bool {
+	if r.Filter == nil {
+		return true
+	}
+	zero := r.Module.Zero()
+	return r.Module.Equal(r.Filter(zero), zero)
+}
+
+// RunToFixpoint iterates until the filtered state vector stops changing or
+// maxIter iterations have run, returning the final states and the number of
+// iterations performed — including the final iteration that confirms the
+// fixpoint. A fixpoint is reached after at most SPD(G) hops for the distance
+// algebras (§1.2), so the count is SPD-related + 1 when it converges.
+//
+// The loop is frontier-driven: it seeds the frontier with the non-⊥ filtered
+// initial states and performs sparse IterateDelta steps until the frontier
+// empties, re-aggregating only nodes that can still change and never
+// scanning the full vector for equality. An all-⊥ input is recognised as a
+// fixpoint immediately, with 0 iterations. The states are identical to
+// RunToFixpointDense's; if the filter does not map ⊥ to ⊥ (no filter in
+// this library does that), the dense loop runs instead.
+func (r *Runner[S, M]) RunToFixpoint(x0 []M, maxIter int) ([]M, int) {
+	if !r.zeroStable() {
+		return r.RunToFixpointDense(x0, maxIter)
+	}
+	x := make([]M, len(x0))
+	for i, s := range x0 {
+		x[i] = r.filter(s)
+	}
+	frontier := r.Frontier(x)
+	ds := r.getDelta(len(x))
+	defer r.putDelta(ds)
+	// The loop owns x (built fresh above), so each sparse step updates it
+	// in place — no per-iteration vector copy.
+	for it := 0; it < maxIter; it++ {
+		if len(frontier) == 0 {
+			return x, it
+		}
+		frontier = r.iterateDelta(x, frontier, ds)
+	}
+	return x, maxIter
+}
+
+// RunToFixpointDense is the dense reference fixpoint loop: every iteration
+// re-aggregates all nodes and a full (early-exiting) vector comparison
+// detects convergence. It computes exactly the states and iteration count of
+// RunToFixpoint (except that an all-⊥ input costs one confirming iteration
+// the sparse loop skips) and remains as the fallback for filters that do not
+// preserve ⊥, and as the differential-test baseline.
+func (r *Runner[S, M]) RunToFixpointDense(x0 []M, maxIter int) ([]M, int) {
+	x := make([]M, len(x0))
+	for i, s := range x0 {
+		x[i] = r.filter(s)
+	}
+	for it := 1; it <= maxIter; it++ {
+		next := r.Iterate(x)
+		if r.statesEqual(x, next) {
+			return next, it
+		}
+		x = next
+	}
+	return x, maxIter
+}
+
+// statesEqual compares two state vectors node-wise, in parallel, bailing out
+// as soon as any worker finds a mismatch (the remaining indices only load
+// one atomic flag each).
+func (r *Runner[S, M]) statesEqual(x, y []M) bool {
+	var diff atomic.Bool
+	par.ForEach(len(x), func(i int) {
+		if diff.Load() {
+			return
+		}
+		if !r.Module.Equal(x[i], y[i]) {
+			diff.Store(true)
+		}
+	})
+	return !diff.Load()
 }
 
 // Run performs h iterations starting from x0 and returns r^V A^h x(0).
@@ -187,32 +478,6 @@ func (r *Runner[S, M]) Run(x0 []M, h int) []M {
 		x = r.Iterate(x)
 	}
 	return x
-}
-
-// RunToFixpoint iterates until the filtered state vector stops changing or
-// maxIter iterations have run, returning the final states and the number of
-// iterations performed. A fixpoint is reached after at most SPD(G)
-// iterations for the distance algebras (§1.2).
-func (r *Runner[S, M]) RunToFixpoint(x0 []M, maxIter int) ([]M, int) {
-	x := make([]M, len(x0))
-	for i, s := range x0 {
-		x[i] = r.filter(s)
-	}
-	for it := 0; it < maxIter; it++ {
-		next := r.Iterate(x)
-		if r.statesEqual(x, next) {
-			return next, it
-		}
-		x = next
-	}
-	return x, maxIter
-}
-
-func (r *Runner[S, M]) statesEqual(x, y []M) bool {
-	eq := par.Reduce(len(x), true,
-		func(i int) bool { return r.Module.Equal(x[i], y[i]) },
-		func(a, b bool) bool { return a && b })
-	return eq
 }
 
 // MinPlusWeight is the Weight function of the min-plus algebras: the

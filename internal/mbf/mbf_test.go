@@ -366,8 +366,10 @@ func TestRunToFixpointStops(t *testing.T) {
 	}
 	x0[0] = 0
 	got, iters := r.RunToFixpoint(x0, 100)
-	if iters != 9 {
-		t.Fatalf("fixpoint after %d iterations, want 9 = SPD", iters)
+	// SPD(P_10) = 9 state-changing iterations plus the one that confirms the
+	// fixpoint: 10 iterations performed.
+	if iters != 10 {
+		t.Fatalf("fixpoint after %d iterations, want 10 = SPD+1", iters)
 	}
 	if got[9] != 9 {
 		t.Fatalf("dist to far end = %v", got[9])

@@ -35,6 +35,12 @@ func SSSP(g *graph.Graph, source graph.Node, h int, tracker *par.Tracker) []floa
 // node learns the k closest sources within h hops and distance at most d,
 // as a distance map. sources[v] reports whether v ∈ S; k ≤ 0 means
 // unbounded; d may be ∞.
+//
+// The h iterations run through the frontier-driven sparse engine capped at
+// h: once the filtered states reach their fixpoint the remaining iterations
+// are identities (Corollary 2.17 filtering plus F(x) = x ⇒ F^j(x) = x), so
+// the output is exactly r^V A^h x(0) at a fraction of the work whenever the
+// graph stabilises before hop h.
 func SourceDetection(g *graph.Graph, sources func(graph.Node) bool, h int, d float64, k int, tracker *par.Tracker) []semiring.DistMap {
 	r := &Runner[float64, semiring.DistMap]{
 		Graph:         g,
@@ -51,7 +57,8 @@ func SourceDetection(g *graph.Graph, sources func(graph.Node) bool, h int, d flo
 			x0[v] = semiring.DistMap{{Node: graph.Node(v), Dist: 0}}
 		}
 	}
-	return r.Run(x0, h)
+	out, _ := r.RunToFixpoint(x0, h)
+	return out
 }
 
 // APSP computes the h-hop distances between all pairs (Example 3.5):

@@ -71,7 +71,13 @@ type Semimodule[S, M any] interface {
 	SMul(s S, x M) M
 	// Zero is the neutral element ⊥ of Add ("no information").
 	Zero() M
-	// Equal reports whether two module elements are equal.
+	// Equal reports whether two module elements are equal. It is the change
+	// detector of the frontier-driven sparse fixpoint engine (mbf): after a
+	// node is re-aggregated, Equal against the previous state decides
+	// whether the node enters the next frontier, so it must be exact
+	// representation equality — cheap (linear in the state size) and never
+	// a semantic approximation, or stable nodes would be re-aggregated (or,
+	// worse, real changes missed) forever.
 	Equal(x, y M) bool
 }
 

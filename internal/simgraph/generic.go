@@ -1,6 +1,8 @@
 package simgraph
 
 import (
+	"sync/atomic"
+
 	"parmbf/internal/graph"
 	"parmbf/internal/mbf"
 	"parmbf/internal/par"
@@ -35,6 +37,15 @@ type GenericOracle[S, M any] struct {
 	// for the arc from→to.
 	Weight  func(from, to graph.Node, scaled float64) S
 	Tracker *par.Tracker
+
+	// runners holds one lazily built per-level runner, kept alive across
+	// oracle iterations so the sparse engine's pooled scratch recycles
+	// (mirroring the distance-map Oracle); per-call fields are refreshed
+	// on every use and the cache is keyed to runnersH so swapping H
+	// rebuilds it. Like Oracle, a GenericOracle is safe for sequential
+	// reuse but not for concurrent use.
+	runners  []*mbf.Runner[S, M]
+	runnersH *H
 }
 
 func (o *GenericOracle[S, M]) filter(x M) M {
@@ -63,34 +74,58 @@ func (o *GenericOracle[S, M]) project(x []M, lambda int) []M {
 // Iterate simulates one MBF-like iteration on H over the generic module
 // (Equation 5.9).
 func (o *GenericOracle[S, M]) Iterate(x []M) []M {
+	out, _ := o.iterate(x, false)
+	return out
+}
+
+// iterate is Iterate plus optional change detection fused into the
+// cross-level aggregation pass (short-circuiting once any node differs),
+// mirroring the distance-map oracle.
+func (o *GenericOracle[S, M]) iterate(x []M, detect bool) ([]M, bool) {
 	h := o.H
 	gp := h.Hop.Graph
 	perLevel := make([][]M, h.Lambda+1)
-	for lambda := 0; lambda <= h.Lambda; lambda++ {
-		scale := h.scale[lambda]
-		runner := &mbf.Runner[S, M]{
-			Graph:         gp,
-			Module:        o.Module,
-			Filter:        o.Filter,
-			FilterInPlace: o.FilterInPlace,
-			Weight: func(from, to graph.Node, w float64) S {
-				return o.Weight(from, to, scale*w)
-			},
-			Tracker: o.Tracker,
+	if o.runnersH != h {
+		o.runners = make([]*mbf.Runner[S, M], h.Lambda+1)
+		for lambda := range o.runners {
+			scale := h.scale[lambda]
+			o.runners[lambda] = &mbf.Runner[S, M]{
+				Graph: gp,
+				// The closure reads o.Weight at call time, so swapping the
+				// oracle's Weight between runs stays visible.
+				Weight: func(from, to graph.Node, w float64) S {
+					return o.Weight(from, to, scale*w)
+				},
+			}
 		}
+		o.runnersH = h
+	}
+	for lambda := 0; lambda <= h.Lambda; lambda++ {
+		runner := o.runners[lambda]
+		runner.Module = o.Module
+		runner.Filter = o.Filter
+		runner.FilterInPlace = o.FilterInPlace
+		runner.Tracker = o.Tracker
 		y := o.project(x, lambda)
-		y = runner.Run(y, h.Hop.D)
+		// (r^V A_λ)^d y via the sparse frontier engine: identical to d dense
+		// iterations (stable states stay stable), cheaper whenever the level
+		// reaches its fixpoint before the hop bound d.
+		y, _ = runner.RunToFixpoint(y, h.Hop.D)
 		perLevel[lambda] = o.project(y, lambda)
 	}
 	out := make([]M, len(x))
+	var diff atomic.Bool
 	par.ForEach(len(x), func(v int) {
 		acc := o.Module.Zero()
 		for lambda := 0; lambda <= h.Lambda; lambda++ {
 			acc = o.Module.Add(acc, perLevel[lambda][v])
 		}
 		out[v] = o.filter(acc)
+		if detect && !diff.Load() && !o.Module.Equal(out[v], x[v]) {
+			diff.Store(true)
+		}
 	})
-	return out
+	return out, diff.Load()
 }
 
 // Run performs iters iterations on H starting from x0.
@@ -105,21 +140,20 @@ func (o *GenericOracle[S, M]) Run(x0 []M, iters int) []M {
 	return x
 }
 
-// RunToFixpoint iterates until the states stop changing or maxIters is hit.
+// RunToFixpoint iterates until the states stop changing or maxIters is hit,
+// returning the states and the number of iterations performed — including
+// the final iteration that confirms the fixpoint.
 func (o *GenericOracle[S, M]) RunToFixpoint(x0 []M, maxIters int) ([]M, int) {
 	x := make([]M, len(x0))
 	for i, s := range x0 {
 		x[i] = o.filter(s)
 	}
-	for it := 0; it < maxIters; it++ {
-		next := o.Iterate(x)
-		same := par.Reduce(len(x), true,
-			func(i int) bool { return o.Module.Equal(x[i], next[i]) },
-			func(a, b bool) bool { return a && b })
-		if same {
-			return next, it
-		}
+	for it := 1; it <= maxIters; it++ {
+		next, changed := o.iterate(x, true)
 		x = next
+		if !changed {
+			return x, it
+		}
 	}
 	return x, maxIters
 }

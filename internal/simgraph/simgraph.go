@@ -29,6 +29,7 @@ package simgraph
 import (
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"parmbf/internal/graph"
 	"parmbf/internal/hopset"
@@ -136,7 +137,10 @@ func (h *H) Materialize() *graph.Graph {
 }
 
 // Oracle answers MBF-like queries on H over the distance-map semimodule D
-// (Theorem 5.2). It is safe for sequential reuse across queries.
+// (Theorem 5.2). It is safe for sequential reuse across queries but NOT for
+// concurrent use: the per-level runners (and their scratch pools) cached on
+// the oracle are reconfigured by every Iterate/RunToFixpoint call. Use one
+// Oracle per goroutine, as the Embedder does.
 type Oracle struct {
 	H       *H
 	Tracker *par.Tracker
@@ -151,6 +155,14 @@ type Oracle struct {
 	// scratch recycles the per-worker buffers of the cross-level merge of
 	// Equation 5.9.
 	scratch sync.Pool // *levelScratch
+	// runners holds one lazily built per-level runner (index λ). A runner
+	// owns the sparse engine's pooled scratch, so keeping them alive across
+	// oracle iterations — a fixpoint run performs O(log² n) of them over
+	// Λ+1 levels — lets those pools actually recycle; per-call fields
+	// (Filter, FilterInPlace, Tracker) are refreshed on every use, and the
+	// cache is keyed to runnersH so swapping the H field rebuilds it.
+	runners  []*mbf.Runner[float64, semiring.DistMap]
+	runnersH *H
 }
 
 // levelScratch is one worker's reusable state for the ⊕_λ aggregation.
@@ -187,31 +199,49 @@ func (o *Oracle) project(x []semiring.DistMap, lambda int) []semiring.DistMap {
 // congruence relation on D; Corollary 2.17 guarantees the result equals the
 // unfiltered iteration r^V(A_H x).
 func (o *Oracle) Iterate(x []semiring.DistMap, filter semiring.Filter[semiring.DistMap]) []semiring.DistMap {
+	out, _ := o.iterate(x, filter, false)
+	return out
+}
+
+// iterate is Iterate plus optional change detection: with detect set, the
+// cross-level merge pass also compares every node's new state against its
+// old one (short-circuiting once a difference is found) and reports whether
+// anything changed — the fixpoint test fused into the pass that already
+// owns the data, replacing a separate full-vector Equal scan.
+func (o *Oracle) iterate(x []semiring.DistMap, filter semiring.Filter[semiring.DistMap], detect bool) ([]semiring.DistMap, bool) {
 	h := o.H
 	gp := h.Hop.Graph
 	n := len(x)
 	perLevel := make([][]semiring.DistMap, h.Lambda+1)
-	for lambda := 0; lambda <= h.Lambda; lambda++ {
-		scale := h.scale[lambda]
-		runner := &mbf.Runner[float64, semiring.DistMap]{
-			Graph:         gp,
-			Module:        semiring.DistMapModule{},
-			Filter:        filter,
-			FilterInPlace: o.FilterInPlace,
-			Weight:        func(_, _ graph.Node, w float64) float64 { return scale * w },
-			Size:          func(m semiring.DistMap) int { return len(m) + 1 },
-			// Note: per-level runs are independent (they would execute in
-			// parallel in the PRAM formulation), so each charges its own
-			// work; the oracle charges the depth of the deepest level once.
-			Tracker: o.Tracker,
+	if o.runnersH != h {
+		o.runners = make([]*mbf.Runner[float64, semiring.DistMap], h.Lambda+1)
+		for lambda := range o.runners {
+			scale := h.scale[lambda]
+			o.runners[lambda] = &mbf.Runner[float64, semiring.DistMap]{
+				Graph:  gp,
+				Module: semiring.DistMapModule{},
+				Weight: func(_, _ graph.Node, w float64) float64 { return scale * w },
+				Size:   func(m semiring.DistMap) int { return len(m) + 1 },
+			}
 		}
+		o.runnersH = h
+	}
+	for lambda := 0; lambda <= h.Lambda; lambda++ {
+		runner := o.runners[lambda]
+		runner.Filter = filter
+		runner.FilterInPlace = o.FilterInPlace
+		// Note: per-level runs are independent (they would execute in
+		// parallel in the PRAM formulation), so each charges its own
+		// work; the oracle charges the depth of the deepest level once.
+		runner.Tracker = o.Tracker
 		y := o.project(x, lambda)
-		// (r^V A_λ)^d y, computed with early fixpoint detection: the filtered
-		// min-plus iteration is monotone, so once the states stop changing the
-		// remaining iterations up to d are identities and can be skipped. The
-		// result is exactly the d-iteration product, at a fraction of the work
-		// when the level stabilises early (the common case — d is the
-		// worst-case hop bound of the hop set).
+		// (r^V A_λ)^d y through the frontier-driven sparse fixpoint engine:
+		// once the filtered states stop changing the remaining iterations up
+		// to d are identities, so the result is exactly the d-iteration
+		// product, and late sparse iterations re-aggregate only the nodes
+		// still in motion (the common case — d is the worst-case hop bound
+		// of the hop set). This inner loop is the hot path of Embedder
+		// builds.
 		y, _ = runner.RunToFixpoint(y, h.Hop.D)
 		perLevel[lambda] = o.project(y, lambda)
 	}
@@ -220,6 +250,7 @@ func (o *Oracle) Iterate(x []semiring.DistMap, filter semiring.Filter[semiring.D
 	// the owned result in place when the caller provided the variant.
 	var agg semiring.DistMapModule
 	out := make([]semiring.DistMap, n)
+	var diff atomic.Bool
 	par.ForEach(n, func(v int) {
 		st, _ := o.scratch.Get().(*levelScratch)
 		if st == nil {
@@ -235,13 +266,16 @@ func (o *Oracle) Iterate(x []semiring.DistMap, filter semiring.Filter[semiring.D
 		} else {
 			out[v] = filter(merged)
 		}
+		if detect && !diff.Load() && !agg.Equal(out[v], x[v]) {
+			diff.Store(true)
+		}
 		for i := range terms {
 			terms[i] = semiring.Term[float64, semiring.DistMap]{}
 		}
 		st.terms = terms[:0]
 		o.scratch.Put(st)
 	})
-	return out
+	return out, diff.Load()
 }
 
 // Run performs h MBF-like iterations on H starting from x0.
@@ -257,24 +291,23 @@ func (o *Oracle) Run(x0 []semiring.DistMap, filter semiring.Filter[semiring.Dist
 }
 
 // RunToFixpoint iterates on H until the filtered states stop changing or
-// maxIters is hit, returning the states and the iteration count. Since
-// SPD(H) ∈ O(log² n) w.h.p. (Theorem 4.5), the fixpoint arrives after
-// polylogarithmically many oracle iterations.
+// maxIters is hit, returning the states and the number of iterations
+// performed — including the final iteration that confirms the fixpoint.
+// Since SPD(H) ∈ O(log² n) w.h.p. (Theorem 4.5), the fixpoint arrives after
+// polylogarithmically many oracle iterations. Change detection is fused
+// into the cross-level merge pass (no separate vector comparison), and the
+// per-level inner loops run on the sparse frontier engine.
 func (o *Oracle) RunToFixpoint(x0 []semiring.DistMap, filter semiring.Filter[semiring.DistMap], maxIters int) ([]semiring.DistMap, int) {
-	mod := semiring.DistMapModule{}
 	x := make([]semiring.DistMap, len(x0))
 	for i, s := range x0 {
 		x[i] = filter(s)
 	}
-	for it := 0; it < maxIters; it++ {
-		next := o.Iterate(x, filter)
-		same := par.Reduce(len(x), true,
-			func(i int) bool { return mod.Equal(x[i], next[i]) },
-			func(a, b bool) bool { return a && b })
-		if same {
-			return next, it
-		}
+	for it := 1; it <= maxIters; it++ {
+		next, changed := o.iterate(x, filter, true)
 		x = next
+		if !changed {
+			return x, it
+		}
 	}
 	return x, maxIters
 }
