@@ -1,24 +1,47 @@
-// Command parmbfd is the FRT distance-oracle server: it builds an Embedder
-// ensemble for a graph exactly once at startup (hop set → simulated graph H
-// → K concurrently sampled trees), preprocesses it into an
-// frt.OracleIndex, and then serves single and batched distance queries over
-// HTTP. Queries cost O(K·log depth) array lookups each and never touch the
-// graph again — the serving-side counterpart of the construction pipeline.
+// Command parmbfd is the FRT distance-oracle serving tier. A single server
+// builds (or loads) an Embedder ensemble, preprocesses it into an
+// frt.OracleIndex, and serves single and batched distance queries over HTTP;
+// a router shards the ensemble's K trees across a fleet of such servers and
+// merges their partial per-tree answers, so query throughput scales out
+// beyond one process.
 //
-// Server:
+// Build-and-serve (the whole pipeline at startup — seconds and up):
 //
 //	parmbfd -addr :8337 -gen random -n 4096 -m 16384 -trees 16
 //	parmbfd -addr :8337 -in graph.txt -trees 8
 //
-// Endpoints:
+// Snapshot persistence (cold-start in milliseconds by loading, not
+// rebuilding; -save also writes the snapshot that -load serves):
 //
-//	GET  /healthz                       liveness
-//	GET  /stats                         graph/ensemble shape + query counters
+//	parmbfd -gen random -n 4096 -trees 16 -save oracle.snap
+//	parmbfd -addr :8337 -load oracle.snap
+//
+// Sharded fleet (every worker loads the full snapshot; the router assigns
+// each worker a contiguous tree shard, fans /batch out with bounded
+// in-flight backpressure, retries failed shards on surviving replicas, and
+// merges Min/Median server-side — bitwise identical to one big server):
+//
+//	parmbfd -addr :8341 -load oracle.snap &
+//	parmbfd -addr :8342 -load oracle.snap &
+//	parmbfd -addr :8337 -router -workers http://localhost:8341,http://localhost:8342
+//
+// Endpoints (identical on server and router):
+//
+//	GET  /healthz                       liveness (router: fleet health)
+//	GET  /stats                         shape + query counters
 //	GET  /dist?u=4&v=9[&stat=median]    one estimate (default stat=min)
 //	POST /batch                         {"pairs":[[u,v],…],"stat":"min"}
 //	                                    → {"dists":[…]}
 //
-// Load-generating client (measures server-side batched throughput):
+// Workers additionally answer the partial-ensemble query the router fans
+// out: {"stat":"pertree","trees":[lo,hi]} returns the individual tree
+// distances of trees lo≤t<hi, pair-major.
+//
+// Errors are structured JSON: {"error":{"code":…,"message":…,"details":…}}.
+// See the README's serving section for the code list.
+//
+// Load-generating client (measures server-side batched throughput; -json
+// appends a machine-readable summary line, e.g. for BENCH_oracle.json):
 //
 //	parmbfd -client -target http://localhost:8337 -requests 200 -batch 256 -concurrency 8
 package main
@@ -33,6 +56,7 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -49,7 +73,7 @@ const maxBatchPairs = 1 << 16
 
 func main() {
 	var (
-		addr  = flag.String("addr", ":8337", "listen address (server mode)")
+		addr  = flag.String("addr", ":8337", "listen address (server and router modes)")
 		in    = flag.String("in", "", "read graph from file (edge-list format)")
 		gen   = flag.String("gen", "random", "generator: random | grid | path | cycle | geometric | lollipop | powerlaw")
 		n     = flag.Int("n", 4096, "generated graph size")
@@ -57,42 +81,110 @@ func main() {
 		seed  = flag.Uint64("seed", 1, "random seed")
 		trees = flag.Int("trees", 16, "ensemble size K")
 
+		save = flag.String("save", "", "write the built ensemble to a snapshot file, then serve")
+		load = flag.String("load", "", "serve from a snapshot file instead of rebuilding the pipeline")
+
+		routerMode    = flag.Bool("router", false, "run as a sharding router over -workers instead of serving an ensemble")
+		workers       = flag.String("workers", "", "comma-separated worker base URLs (router mode)")
+		inflight      = flag.Int("inflight", 64, "max in-flight upstream requests across all /batch fan-outs (router mode)")
+		workerTimeout = flag.Duration("worker-timeout", 5*time.Second, "per-attempt upstream timeout (router mode)")
+		healthEvery   = flag.Duration("health-interval", 2*time.Second, "worker health-probe interval (router mode)")
+
 		client      = flag.Bool("client", false, "run as load-generating client instead of server")
 		target      = flag.String("target", "http://localhost:8337", "server URL (client mode)")
 		requests    = flag.Int("requests", 100, "batch requests to send (client mode)")
 		batch       = flag.Int("batch", 256, "pairs per batch request (client mode)")
 		concurrency = flag.Int("concurrency", 4, "concurrent client connections (client mode)")
+		jsonOut     = flag.String("json", "", "append a JSON summary line of the client run to this file (client mode)")
 	)
 	flag.Parse()
 
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+
 	if *client {
-		if err := runClient(*target, *requests, *batch, *concurrency, *seed); err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
+		if err := runClient(*target, *requests, *batch, *concurrency, *seed, *jsonOut); err != nil {
+			fail(err)
 		}
 		return
 	}
 
-	rng := par.NewRNG(*seed)
-	g, err := loadGraph(*in, *gen, *n, *m, rng)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
-		os.Exit(1)
+	if *routerMode {
+		urls := splitWorkerURLs(*workers)
+		if len(urls) == 0 {
+			fail(fmt.Errorf("-router needs -workers url1,url2,…"))
+		}
+		rt, err := newRouter(urls, *inflight, *workerTimeout, *healthEvery)
+		if err != nil {
+			fail(err)
+		}
+		defer rt.Close()
+		fmt.Printf("router: n=%d trees=%d over %d workers, shards %v\n", rt.n, rt.k, len(rt.workers), rt.shards)
+		fmt.Printf("serving on %s\n", *addr)
+		fail(listenAndServe(*addr, rt.mux()))
 	}
-	fmt.Printf("graph: n=%d m=%d\n", g.N(), g.M())
 
+	var (
+		ens  *frt.Ensemble
+		meta frt.SnapshotMeta
+	)
 	start := time.Now()
-	s, _, err := newServer(g, *trees, rng)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
-		os.Exit(1)
+	if *load != "" {
+		var err error
+		ens, meta, err = frt.ReadSnapshotFile(*load)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("snapshot %s: n=%d m=%d K=%d loaded in %v\n",
+			*load, meta.GraphNodes, meta.GraphEdges, len(ens.Trees), time.Since(start).Round(time.Millisecond))
+	} else {
+		rng := par.NewRNG(*seed)
+		g, err := loadGraph(*in, *gen, *n, *m, rng)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("graph: n=%d m=%d\n", g.N(), g.M())
+		ens, meta, err = buildEnsemble(g, *trees, rng)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("pipeline: K=%d trees built in %v\n", len(ens.Trees), time.Since(start).Round(time.Millisecond))
 	}
-	fmt.Printf("oracle: K=%d trees, max depth %d, built in %v\n",
-		s.idx.NumTrees(), s.idx.MaxDepth(), time.Since(start).Round(time.Millisecond))
+	if *save != "" {
+		t0 := time.Now()
+		if err := frt.WriteSnapshotFile(*save, ens, meta); err != nil {
+			fail(err)
+		}
+		fmt.Printf("snapshot saved to %s in %v\n", *save, time.Since(t0).Round(time.Millisecond))
+	}
+	t0 := time.Now()
+	s, err := newServer(ens, meta)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("oracle: K=%d trees, max depth %d, indexed in %v (total cold start %v)\n",
+		s.idx.NumTrees(), s.idx.MaxDepth(), time.Since(t0).Round(time.Millisecond),
+		time.Since(start).Round(time.Millisecond))
 	fmt.Printf("serving on %s\n", *addr)
+	fail(listenAndServe(*addr, s.mux()))
+}
+
+func splitWorkerURLs(s string) []string {
+	var urls []string
+	for _, u := range strings.Split(s, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, strings.TrimRight(u, "/"))
+		}
+	}
+	return urls
+}
+
+func listenAndServe(addr string, h http.Handler) error {
 	srv := &http.Server{
-		Addr:    *addr,
-		Handler: s.mux(),
+		Addr:    addr,
+		Handler: h,
 		// Serving-hardening timeouts: a slow-loris client (or one that
 		// never finishes a /batch body) must not pin a connection forever.
 		ReadHeaderTimeout: 5 * time.Second,
@@ -100,18 +192,18 @@ func main() {
 		WriteTimeout:      30 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
-	if err := srv.ListenAndServe(); err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
-		os.Exit(1)
-	}
+	return srv.ListenAndServe()
 }
 
 // server holds the immutable oracle and the query counters. The index is
 // read-only after construction, so handlers share it without locking; the
-// response buffers come from a pool.
+// response buffers come from a pool. The graph itself is never retained —
+// only its shape, so a snapshot-loaded server is indistinguishable from a
+// freshly built one.
 type server struct {
-	g       *graph.Graph
+	n, m    int // embedded graph shape (nodes, edges)
 	idx     *frt.OracleIndex
+	ens     *frt.Ensemble
 	started time.Time
 
 	queries atomic.Int64 // pairs answered
@@ -120,24 +212,31 @@ type server struct {
 	bufs sync.Pool // *[]float64 response buffers
 }
 
-// newServer builds the shared pipeline once and indexes the ensemble (also
-// returned, for callers that want walk-path access to the trees).
-func newServer(g *graph.Graph, trees int, rng *par.RNG) (*server, *frt.Ensemble, error) {
+// buildEnsemble runs the full shared pipeline once: hop set → simulated
+// graph H → K concurrently sampled trees. This is the slow path a snapshot
+// amortises away.
+func buildEnsemble(g *graph.Graph, trees int, rng *par.RNG) (*frt.Ensemble, frt.SnapshotMeta, error) {
 	e, err := frt.NewEmbedder(g, frt.Options{RNG: rng})
 	if err != nil {
-		return nil, nil, err
+		return nil, frt.SnapshotMeta{}, err
 	}
 	ens, err := e.SampleEnsemble(trees)
 	if err != nil {
-		return nil, nil, err
+		return nil, frt.SnapshotMeta{}, err
 	}
+	return ens, frt.SnapshotMeta{GraphNodes: g.N(), GraphEdges: g.M()}, nil
+}
+
+// newServer indexes the ensemble and wires the handler state. It serves
+// identically whether ens was freshly sampled or loaded from a snapshot.
+func newServer(ens *frt.Ensemble, meta frt.SnapshotMeta) (*server, error) {
 	idx, err := ens.Index()
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	s := &server{g: g, idx: idx, started: time.Now()}
+	s := &server{n: idx.NumLeaves(), m: meta.GraphEdges, idx: idx, ens: ens, started: time.Now()}
 	s.bufs.New = func() any { b := make([]float64, 0, 1024); return &b }
-	return s, ens, nil
+	return s, nil
 }
 
 func (s *server) mux() *http.ServeMux {
@@ -155,8 +254,9 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
-		"nodes":    s.g.N(),
-		"edges":    s.g.M(),
+		"mode":     "server",
+		"nodes":    s.n,
+		"edges":    s.m,
 		"trees":    s.idx.NumTrees(),
 		"maxDepth": s.idx.MaxDepth(),
 		"queries":  s.queries.Load(),
@@ -166,10 +266,11 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *server) handleDist(w http.ResponseWriter, r *http.Request) {
-	u, err1 := parseNode(r.URL.Query().Get("u"), s.g.N())
-	v, err2 := parseNode(r.URL.Query().Get("v"), s.g.N())
+	u, err1 := parseNode(r.URL.Query().Get("u"), s.n)
+	v, err2 := parseNode(r.URL.Query().Get("v"), s.n)
 	if err1 != nil || err2 != nil {
-		writeError(w, http.StatusBadRequest, "u and v must be node ids in [0, n)")
+		writeError(w, http.StatusBadRequest, errBadNode,
+			"u and v must be node ids in [0, n)", map[string]any{"n": s.n})
 		return
 	}
 	var d float64
@@ -179,65 +280,100 @@ func (s *server) handleDist(w http.ResponseWriter, r *http.Request) {
 	case "median":
 		d = s.idx.Median(u, v)
 	default:
-		writeError(w, http.StatusBadRequest, "stat must be min or median")
+		writeError(w, http.StatusBadRequest, errBadStat,
+			"stat must be min or median", map[string]any{"stat": stat})
 		return
 	}
 	s.queries.Add(1)
 	writeJSON(w, http.StatusOK, map[string]any{"u": u, "v": v, "dist": d})
 }
 
-// batchRequest is the /batch payload: pairs of node ids, and the estimator
-// to apply (min by default).
+// batchRequest is the /batch payload: pairs of node ids, the estimator to
+// apply (min by default), and — for the router-facing "pertree" estimator —
+// the half-open tree shard to answer for.
 type batchRequest struct {
 	Pairs [][2]int64 `json:"pairs"`
 	Stat  string     `json:"stat"`
+	Trees *[2]int    `json:"trees,omitempty"`
 }
 
 type batchResponse struct {
 	Dists []float64 `json:"dists"`
+	// Trees echoes the shard answered for a pertree request (pair-major:
+	// Dists[i*(hi-lo) + (t-lo)] is pair i in tree t).
+	Trees *[2]int `json:"trees,omitempty"`
 }
 
-func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+// decodeBatch parses and validates a /batch body against node count n,
+// writing the structured error response itself on failure.
+func decodeBatch(w http.ResponseWriter, r *http.Request, n int) ([]frt.Pair, *batchRequest, bool) {
 	var req batchRequest
 	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<24))
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
-		return
+		writeError(w, http.StatusBadRequest, errBadJSON, "bad JSON: "+err.Error(), nil)
+		return nil, nil, false
 	}
 	if len(req.Pairs) == 0 {
-		writeError(w, http.StatusBadRequest, "empty pairs")
-		return
+		writeError(w, http.StatusBadRequest, errEmptyPairs, "pairs must be non-empty", nil)
+		return nil, nil, false
 	}
 	if len(req.Pairs) > maxBatchPairs {
-		writeError(w, http.StatusRequestEntityTooLarge,
-			fmt.Sprintf("batch of %d pairs exceeds cap %d", len(req.Pairs), maxBatchPairs))
-		return
+		writeError(w, http.StatusRequestEntityTooLarge, errBatchTooLarge,
+			fmt.Sprintf("batch of %d pairs exceeds cap %d", len(req.Pairs), maxBatchPairs),
+			map[string]any{"max": maxBatchPairs, "got": len(req.Pairs)})
+		return nil, nil, false
 	}
-	n := int64(s.g.N())
+	nn := int64(n)
 	pairs := make([]frt.Pair, len(req.Pairs))
 	for i, p := range req.Pairs {
-		if p[0] < 0 || p[0] >= n || p[1] < 0 || p[1] >= n {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("pair %d out of range", i))
-			return
+		if p[0] < 0 || p[0] >= nn || p[1] < 0 || p[1] >= nn {
+			writeError(w, http.StatusBadRequest, errPairOutOfRange,
+				fmt.Sprintf("pair %d = [%d, %d] out of range", i, p[0], p[1]),
+				map[string]any{"index": i, "pair": p, "n": n})
+			return nil, nil, false
 		}
 		pairs[i] = frt.Pair{U: graph.Node(p[0]), V: graph.Node(p[1])}
+	}
+	return pairs, &req, true
+}
+
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	pairs, req, ok := decodeBatch(w, r, s.n)
+	if !ok {
+		return
 	}
 	bufp := s.bufs.Get().(*[]float64)
 	defer s.bufs.Put(bufp)
 	var out []float64
+	resp := batchResponse{}
 	switch req.Stat {
 	case "", "min":
 		out = s.idx.MinBatch(pairs, *bufp)
 	case "median":
 		out = s.idx.MedianBatch(pairs, *bufp)
+	case "pertree":
+		lo, hi := 0, s.idx.NumTrees()
+		if req.Trees != nil {
+			lo, hi = req.Trees[0], req.Trees[1]
+		}
+		var err error
+		out, err = s.idx.PerTreeBatch(pairs, lo, hi, *bufp)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, errBadTreeRange,
+				err.Error(), map[string]any{"trees": [2]int{lo, hi}, "k": s.idx.NumTrees()})
+			return
+		}
+		resp.Trees = &[2]int{lo, hi}
 	default:
-		writeError(w, http.StatusBadRequest, "stat must be min or median")
+		writeError(w, http.StatusBadRequest, errBadStat,
+			"stat must be min, median, or pertree", map[string]any{"stat": req.Stat})
 		return
 	}
 	*bufp = out[:0]
 	s.queries.Add(int64(len(pairs)))
 	s.batches.Add(1)
-	writeJSON(w, http.StatusOK, batchResponse{Dists: out})
+	resp.Dists = out
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func parseNode(s string, n int) (graph.Node, error) {
@@ -253,20 +389,68 @@ func parseNode(s string, n int) (graph.Node, error) {
 	return graph.Node(v), nil
 }
 
+// Error codes of the structured error schema. Every non-200 response body is
+//
+//	{"error": {"code": <one of these>, "message": <human text>,
+//	           "details": <code-specific object, may be absent>}}
+//
+// so clients branch on a stable machine-readable code instead of matching
+// message prose.
+const (
+	errBadJSON             = "bad_json"
+	errEmptyPairs          = "empty_pairs"
+	errBatchTooLarge       = "batch_too_large"
+	errPairOutOfRange      = "pair_out_of_range"
+	errBadStat             = "bad_stat"
+	errBadNode             = "bad_node"
+	errBadTreeRange        = "bad_tree_range"
+	errOverloaded          = "overloaded"
+	errUpstreamUnavailable = "upstream_unavailable"
+)
+
+type apiError struct {
+	Code    string         `json:"code"`
+	Message string         `json:"message"`
+	Details map[string]any `json:"details,omitempty"`
+}
+
+type errorResponse struct {
+	Error apiError `json:"error"`
+}
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, map[string]string{"error": msg})
+func writeError(w http.ResponseWriter, status int, code, msg string, details map[string]any) {
+	writeJSON(w, status, errorResponse{Error: apiError{Code: code, Message: msg, Details: details}})
 }
 
-// runClient floods the server's /batch endpoint with random-pair batches
+// clientSummary is the machine-readable record of one load-generation run
+// (-json appends it as a line, the same one-object-per-line convention the
+// BENCH_*.json trajectories use).
+type clientSummary struct {
+	Date          string  `json:"date"`
+	Target        string  `json:"target"`
+	Requests      int     `json:"requests"`
+	Batch         int     `json:"batch"`
+	Concurrency   int     `json:"concurrency"`
+	Failed        int     `json:"failed"`
+	PairsPerSec   float64 `json:"pairsPerSec"`
+	BatchesPerSec float64 `json:"batchesPerSec"`
+	P50Us         int64   `json:"p50us"`
+	P90Us         int64   `json:"p90us"`
+	P99Us         int64   `json:"p99us"`
+	MaxUs         int64   `json:"maxus"`
+}
+
+// runClient floods the target's /batch endpoint with random-pair batches
 // from `concurrency` connections and reports throughput and latency
-// quantiles — the smoke-load harness for the serving scenario.
-func runClient(target string, requests, batch, concurrency int, seed uint64) error {
+// quantiles — the load harness for both a single server and a router-fronted
+// fleet (the API is identical).
+func runClient(target string, requests, batch, concurrency int, seed uint64, jsonOut string) error {
 	if requests < 1 || batch < 1 || concurrency < 1 {
 		return fmt.Errorf("-requests, -batch, and -concurrency must all be ≥ 1 (got %d, %d, %d)",
 			requests, batch, concurrency)
@@ -338,15 +522,49 @@ func runClient(target string, requests, batch, concurrency int, seed uint64) err
 	}
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 	pairs := requests * batch
+	sum := clientSummary{
+		Date:          time.Now().UTC().Format(time.RFC3339),
+		Target:        target,
+		Requests:      requests,
+		Batch:         batch,
+		Concurrency:   concurrency,
+		Failed:        failed,
+		PairsPerSec:   float64(pairs) / elapsed.Seconds(),
+		BatchesPerSec: float64(requests) / elapsed.Seconds(),
+		P50Us:         latencies[requests/2].Microseconds(),
+		P90Us:         latencies[requests*9/10].Microseconds(),
+		P99Us:         latencies[requests*99/100].Microseconds(),
+		MaxUs:         latencies[requests-1].Microseconds(),
+	}
 	fmt.Printf("sent %d batches × %d pairs in %v (%d failed)\n", requests, batch, elapsed.Round(time.Millisecond), failed)
-	fmt.Printf("throughput: %.0f pairs/s, %.1f batches/s\n",
-		float64(pairs)/elapsed.Seconds(), float64(requests)/elapsed.Seconds())
+	fmt.Printf("throughput: %.0f pairs/s, %.1f batches/s\n", sum.PairsPerSec, sum.BatchesPerSec)
 	fmt.Printf("latency: p50 %v  p90 %v  p99 %v  max %v\n",
 		latencies[requests/2], latencies[requests*9/10], latencies[requests*99/100], latencies[requests-1])
+	if jsonOut != "" {
+		if err := appendJSONLine(jsonOut, sum); err != nil {
+			return fmt.Errorf("writing %s: %w", jsonOut, err)
+		}
+	}
 	if failed > 0 {
 		return fmt.Errorf("%d of %d requests failed: first error: %w", failed, requests, firstError(errs))
 	}
 	return nil
+}
+
+func appendJSONLine(path string, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(b, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func firstError(errs []error) error {

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -17,7 +19,11 @@ func testServer(t *testing.T) (*server, *httptest.Server, *graph.Graph, *frt.Ens
 	t.Helper()
 	rng := par.NewRNG(5)
 	g := graph.RandomConnected(48, 140, 8, rng)
-	s, ens, err := newServer(g, 4, rng)
+	ens, meta, err := buildEnsemble(g, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := newServer(ens, meta)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,6 +59,9 @@ func TestHealthzAndStats(t *testing.T) {
 	}
 	if int(stats["nodes"].(float64)) != g.N() || int(stats["trees"].(float64)) != s.idx.NumTrees() {
 		t.Fatalf("stats mismatch: %v", stats)
+	}
+	if int(stats["edges"].(float64)) != g.M() {
+		t.Fatalf("stats edges = %v, want %d", stats["edges"], g.M())
 	}
 }
 
@@ -106,6 +115,22 @@ func postJSON(t *testing.T, url, body string) (int, batchResponse) {
 	return resp.StatusCode, br
 }
 
+// postForError posts a body expected to fail and decodes the structured
+// error envelope.
+func postForError(t *testing.T, url, body string) (int, apiError) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var er errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatalf("error response is not the documented envelope: %v", err)
+	}
+	return resp.StatusCode, er.Error
+}
+
 func TestBatchEndpointMatchesMinBatch(t *testing.T) {
 	s, ts, g, ens := testServer(t)
 	rng := par.NewRNG(9)
@@ -137,24 +162,38 @@ func TestBatchEndpointMatchesMinBatch(t *testing.T) {
 	}
 }
 
-func TestBatchEndpointRejectsBadInput(t *testing.T) {
+// TestBatchStructuredErrors pins the documented error schema: every
+// rejection carries {"error":{"code":…,"message":…}} with a stable
+// machine-readable code, including cap-exceeded (with max/got details) and
+// malformed pairs (with the offending index).
+func TestBatchStructuredErrors(t *testing.T) {
 	_, ts, _, _ := testServer(t)
 	cases := []struct {
-		name, body string
-		code       int
+		name, body, code string
+		status           int
 	}{
-		{"not json", "{", http.StatusBadRequest},
-		{"empty pairs", `{"pairs":[]}`, http.StatusBadRequest},
-		{"out of range", `{"pairs":[[0,99999]]}`, http.StatusBadRequest},
-		{"negative", `{"pairs":[[-1,0]]}`, http.StatusBadRequest},
-		{"bad stat", `{"pairs":[[0,1]],"stat":"mean"}`, http.StatusBadRequest},
+		{"not json", "{", errBadJSON, http.StatusBadRequest},
+		{"empty pairs", `{"pairs":[]}`, errEmptyPairs, http.StatusBadRequest},
+		{"out of range", `{"pairs":[[0,99999]]}`, errPairOutOfRange, http.StatusBadRequest},
+		{"negative", `{"pairs":[[-1,0]]}`, errPairOutOfRange, http.StatusBadRequest},
+		{"bad stat", `{"pairs":[[0,1]],"stat":"mean"}`, errBadStat, http.StatusBadRequest},
+		{"bad tree range", `{"pairs":[[0,1]],"stat":"pertree","trees":[3,99]}`, errBadTreeRange, http.StatusBadRequest},
 	}
 	for _, c := range cases {
-		if code, _ := postJSON(t, ts.URL+"/batch", c.body); code != c.code {
-			t.Fatalf("%s: code %d, want %d", c.name, code, c.code)
+		status, e := postForError(t, ts.URL+"/batch", c.body)
+		if status != c.status || e.Code != c.code {
+			t.Fatalf("%s: status %d code %q, want %d %q", c.name, status, e.Code, c.status, c.code)
+		}
+		if e.Message == "" {
+			t.Fatalf("%s: empty error message", c.name)
 		}
 	}
-	// Over-cap batch: generated, not hand-written.
+	// Malformed-pair details name the offending pair.
+	_, e := postForError(t, ts.URL+"/batch", `{"pairs":[[0,1],[2,99999]]}`)
+	if e.Details["index"].(float64) != 1 {
+		t.Fatalf("pair_out_of_range details = %v, want index 1", e.Details)
+	}
+	// Over-cap batch: generated, not hand-written; details carry the cap.
 	var buf bytes.Buffer
 	buf.WriteString(`{"pairs":[`)
 	for i := 0; i <= maxBatchPairs; i++ {
@@ -164,8 +203,12 @@ func TestBatchEndpointRejectsBadInput(t *testing.T) {
 		buf.WriteString("[0,1]")
 	}
 	buf.WriteString(`]}`)
-	if code, _ := postJSON(t, ts.URL+"/batch", buf.String()); code != http.StatusRequestEntityTooLarge {
-		t.Fatalf("over-cap batch: code %d, want 413", code)
+	status, e := postForError(t, ts.URL+"/batch", buf.String())
+	if status != http.StatusRequestEntityTooLarge || e.Code != errBatchTooLarge {
+		t.Fatalf("over-cap batch: status %d code %q, want 413 %q", status, e.Code, errBatchTooLarge)
+	}
+	if int(e.Details["max"].(float64)) != maxBatchPairs || int(e.Details["got"].(float64)) != maxBatchPairs+1 {
+		t.Fatalf("batch_too_large details = %v", e.Details)
 	}
 }
 
@@ -182,12 +225,99 @@ func TestBatchMedianStat(t *testing.T) {
 	}
 }
 
+// TestBatchPerTreeStat pins the worker half of the sharding protocol: a
+// pertree request returns the pair-major per-tree block of the requested
+// shard, matching OracleIndex.PerTreeBatch bitwise, and echoes the shard.
+func TestBatchPerTreeStat(t *testing.T) {
+	s, ts, _, _ := testServer(t)
+	pairs := []frt.Pair{{U: 0, V: 1}, {U: 7, V: 7}, {U: 40, V: 3}}
+	want, err := s.idx.PerTreeBatch(pairs, 1, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, br := postJSON(t, ts.URL+"/batch", `{"pairs":[[0,1],[7,7],[40,3]],"stat":"pertree","trees":[1,3]}`)
+	if code != http.StatusOK {
+		t.Fatalf("pertree batch: code %d", code)
+	}
+	if br.Trees == nil || *br.Trees != [2]int{1, 3} {
+		t.Fatalf("pertree response trees = %v, want [1,3]", br.Trees)
+	}
+	if len(br.Dists) != len(want) {
+		t.Fatalf("pertree dists: %d values, want %d", len(br.Dists), len(want))
+	}
+	for i := range want {
+		if br.Dists[i] != want[i] {
+			t.Fatalf("pertree dist %d = %v, want %v", i, br.Dists[i], want[i])
+		}
+	}
+	// Default shard is the whole ensemble.
+	code, br = postJSON(t, ts.URL+"/batch", `{"pairs":[[0,1]],"stat":"pertree"}`)
+	if code != http.StatusOK || *br.Trees != [2]int{0, s.idx.NumTrees()} {
+		t.Fatalf("default pertree shard: code %d trees %v", code, br.Trees)
+	}
+}
+
+// TestServerFromSnapshotMatchesBuilt round-trips the ensemble through the
+// snapshot file codec and checks the reloaded server's HTTP answers are
+// bitwise identical to the freshly built one's — the cmd-level differential
+// that -save / -load preserve the serving contract end to end.
+func TestServerFromSnapshotMatchesBuilt(t *testing.T) {
+	_, ts, g, ens := testServer(t)
+	path := filepath.Join(t.TempDir(), "oracle.snap")
+	meta := frt.SnapshotMeta{GraphNodes: g.N(), GraphEdges: g.M()}
+	if err := frt.WriteSnapshotFile(path, ens, meta); err != nil {
+		t.Fatal(err)
+	}
+	ens2, meta2, err := frt.ReadSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta2 != meta {
+		t.Fatalf("snapshot meta %+v, want %+v", meta2, meta)
+	}
+	s2, err := newServer(ens2, meta2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.mux())
+	defer ts2.Close()
+
+	body := `{"pairs":[[0,1],[3,40],[7,7],[47,0]],"stat":"median"}`
+	_, fresh := postJSON(t, ts.URL+"/batch", body)
+	_, loaded := postJSON(t, ts2.URL+"/batch", body)
+	for i := range fresh.Dists {
+		if fresh.Dists[i] != loaded.Dists[i] {
+			t.Fatalf("pair %d: loaded %v, fresh %v", i, loaded.Dists[i], fresh.Dists[i])
+		}
+	}
+}
+
 // TestClientAgainstServer spins the real handler stack up on a loopback
-// listener and runs the load-generating client against it end to end.
+// listener and runs the load-generating client against it end to end,
+// including the JSON summary line.
 func TestClientAgainstServer(t *testing.T) {
 	_, ts, _, _ := testServer(t)
-	if err := runClient(ts.URL, 8, 16, 2, 3); err != nil {
+	out := filepath.Join(t.TempDir(), "client.json")
+	if err := runClient(ts.URL, 8, 16, 2, 3, out); err != nil {
 		t.Fatal(err)
+	}
+	if err := runClient(ts.URL, 8, 16, 2, 3, out); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(b)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("summary file has %d lines, want 2 (append semantics)", len(lines))
+	}
+	var sum clientSummary
+	if err := json.Unmarshal([]byte(lines[1]), &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Requests != 8 || sum.Batch != 16 || sum.Failed != 0 || sum.PairsPerSec <= 0 {
+		t.Fatalf("bad summary: %+v", sum)
 	}
 }
 
@@ -200,20 +330,20 @@ func TestClientReportsServerErrors(t *testing.T) {
 		writeJSON(w, http.StatusOK, statsResponse{Nodes: 64, Trees: 4})
 	})
 	mux.HandleFunc("POST /batch", func(w http.ResponseWriter, _ *http.Request) {
-		writeError(w, http.StatusInternalServerError, "boom")
+		writeError(w, http.StatusInternalServerError, "internal", "boom", nil)
 	})
 	ts := httptest.NewServer(mux)
 	defer ts.Close()
-	if err := runClient(ts.URL, 4, 8, 2, 3); err == nil {
+	if err := runClient(ts.URL, 4, 8, 2, 3, ""); err == nil {
 		t.Fatal("client reported success against a failing /batch")
 	}
-	if err := runClient("http://127.0.0.1:1", 1, 1, 1, 1); err == nil {
+	if err := runClient("http://127.0.0.1:1", 1, 1, 1, 1, ""); err == nil {
 		t.Fatal("client reported success against a dead target")
 	}
-	if err := runClient(ts.URL, 0, 8, 2, 3); err == nil {
+	if err := runClient(ts.URL, 0, 8, 2, 3, ""); err == nil {
 		t.Fatal("-requests 0 accepted")
 	}
-	if err := runClient(ts.URL, 4, -1, 2, 3); err == nil {
+	if err := runClient(ts.URL, 4, -1, 2, 3, ""); err == nil {
 		t.Fatal("negative -batch accepted")
 	}
 }
@@ -234,6 +364,17 @@ func TestLoadGraphGenerators(t *testing.T) {
 	}
 	if _, err := loadGraph("/nonexistent/file", "", 0, 0, rng); err == nil {
 		t.Fatal("missing file accepted")
+	}
+}
+
+func TestSplitWorkerURLs(t *testing.T) {
+	got := splitWorkerURLs(" http://a:1/, ,http://b:2 ,")
+	want := []string{"http://a:1", "http://b:2"}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("splitWorkerURLs = %v, want %v", got, want)
+	}
+	if urls := splitWorkerURLs(""); len(urls) != 0 {
+		t.Fatalf("empty -workers parsed to %v", urls)
 	}
 }
 

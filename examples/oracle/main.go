@@ -1,13 +1,16 @@
 // Oracle walkthrough: turn an FRT ensemble into a fast approximate
 // distance oracle. The ensemble is sampled once through the shared
-// pipeline, preprocessed into an OracleIndex, and then queried in batch —
-// the serving pattern behind cmd/parmbfd.
+// pipeline, preprocessed into an OracleIndex, queried in batch, and
+// round-tripped through the versioned snapshot format — the serving
+// pattern behind cmd/parmbfd (build or -load, then answer /batch).
 //
 //	go run ./examples/oracle
 package main
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"time"
 
 	"parmbf"
@@ -30,7 +33,8 @@ func main() {
 		}
 		ens.Trees = append(ens.Trees, emb.Tree)
 	}
-	fmt.Printf("sampled %d trees in %v\n", len(ens.Trees), time.Since(t0).Round(time.Millisecond))
+	sampleTime := time.Since(t0)
+	fmt.Printf("sampled %d trees in %v\n", len(ens.Trees), sampleTime.Round(time.Millisecond))
 
 	// Index the ensemble: per-leaf ancestor and prefix-weight tables make
 	// every query a handful of array lookups instead of a pointer walk.
@@ -84,6 +88,46 @@ func main() {
 	// 3. Quality: the oracle never under-estimates, and the min over trees
 	// tracks the true distance within the expected O(log n) stretch.
 	stats := ens.Evaluate(g, 500, parmbf.NewRNG(5))
-	fmt.Printf("on %d random pairs: avg min-stretch %.2f, max %.2f, never under-estimates: %v\n",
+	fmt.Printf("on %d random pairs: avg min-stretch %.2f, max %.2f, never under-estimates: %v\n\n",
 		stats.Pairs, stats.AvgMinStretch, stats.MaxMinStretch, stats.DominanceOK)
+
+	// 4. Snapshot persistence: what `parmbfd -save`/-load do. Sampling is
+	// the expensive step; the snapshot amortises it away, and because
+	// indexing is deterministic, the reloaded oracle answers bitwise
+	// identically.
+	dir, err := os.MkdirTemp("", "oracle-example")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "oracle.snap")
+	meta := parmbf.SnapshotMeta{GraphNodes: g.N(), GraphEdges: g.M()}
+	t0 = time.Now()
+	if err := parmbf.WriteSnapshotFile(path, ens, meta); err != nil {
+		panic(err)
+	}
+	saveTime := time.Since(t0)
+	t0 = time.Now()
+	ens2, _, err := parmbf.ReadSnapshotFile(path)
+	if err != nil {
+		panic(err)
+	}
+	idx2, err := ens2.Index()
+	if err != nil {
+		panic(err)
+	}
+	loadTime := time.Since(t0)
+	reloaded := idx2.MinBatch(pairs, nil)
+	same = true
+	for i := range pairs {
+		if reloaded[i] != batched[i] {
+			same = false
+			break
+		}
+	}
+	info, _ := os.Stat(path)
+	fmt.Printf("snapshot: %d KB, saved in %v, load+reindex in %v (vs %v to resample)\n",
+		info.Size()/1024, saveTime.Round(time.Millisecond), loadTime.Round(time.Millisecond),
+		sampleTime.Round(time.Millisecond))
+	fmt.Printf("reloaded oracle bitwise identical: %v\n", same)
 }

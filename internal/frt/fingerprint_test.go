@@ -45,7 +45,8 @@ var ensembleFingerprints = map[string]string{
 	"none":     "3247f3f8889a2157",
 }
 
-func ensembleFingerprint(t *testing.T, cfgIdx int) string {
+// buildFingerprintEnsemble runs the full fixed-seed pipeline of one config.
+func buildFingerprintEnsemble(t *testing.T, cfgIdx int) *Ensemble {
 	t.Helper()
 	cfg := fingerprintConfigs[cfgIdx]
 	g := graph.RandomConnected(cfg.n, cfg.m, 8, par.NewRNG(cfg.graphSeed))
@@ -57,6 +58,15 @@ func ensembleFingerprint(t *testing.T, cfgIdx int) string {
 	if err != nil {
 		t.Fatal(err)
 	}
+	return ens
+}
+
+// fingerprintOf hashes the serialised trees of any ensemble — the same
+// digest whether the ensemble was freshly sampled or loaded from a snapshot,
+// which is how the snapshot differential suite proves a load restores the
+// pinned fixed-seed output bit-for-bit.
+func fingerprintOf(t *testing.T, ens *Ensemble) string {
+	t.Helper()
 	var buf bytes.Buffer
 	for _, tr := range ens.Trees {
 		if err := WriteTree(&buf, tr); err != nil {
@@ -66,6 +76,11 @@ func ensembleFingerprint(t *testing.T, cfgIdx int) string {
 	h := fnv.New64a()
 	h.Write(buf.Bytes())
 	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+func ensembleFingerprint(t *testing.T, cfgIdx int) string {
+	t.Helper()
+	return fingerprintOf(t, buildFingerprintEnsemble(t, cfgIdx))
 }
 
 // TestEnsembleFingerprints is the cross-PR determinism contract: fixed-seed

@@ -477,38 +477,73 @@ func (o *OracleIndex) median(u, v graph.Node, ds []float64) float64 {
 	if u == v {
 		return 0
 	}
-	ks := o.k * o.stride
-	if o.packed != nil {
-		kw := o.k * o.words
-		xu := o.packed[int(u)*kw : int(u)*kw+kw]
-		xv := o.packed[int(v)*kw : int(v)*kw+kw]
-		for t := 0; t < o.k; t++ {
-			h := packedMergeHeight(xu[t*o.words:(t+1)*o.words], xv[t*o.words:(t+1)*o.words])
-			if ps := o.pwShared; ps != nil {
-				ds[t] = ps[t*o.stride+h] + ps[t*o.stride+h]
-			} else {
-				ds[t] = o.pw[int(u)*ks+t*o.stride+h] + o.pw[int(v)*ks+t*o.stride+h]
-			}
-		}
-	} else {
-		bu, bv := int(u)*ks, int(v)*ks
-		au, av := o.anc[bu:bu+ks], o.anc[bv:bv+ks]
-		for t := 0; t < o.k; t++ {
-			off := t * o.stride
-			h := off + mergeHeight(au[off:off+o.stride], av[off:off+o.stride])
-			if ps := o.pwShared; ps != nil {
-				ds[t] = ps[h] + ps[h]
-			} else {
-				ds[t] = o.pw[bu+h] + o.pw[bv+h]
-			}
-		}
-	}
+	o.perTreeDists(u, v, 0, o.k, ds)
 	sort.Float64s(ds)
 	mid := len(ds) / 2
 	if len(ds)%2 == 1 {
 		return ds[mid]
 	}
 	return (ds[mid-1] + ds[mid]) / 2
+}
+
+// perTreeDists writes the tree distance of (u, v) in every tree t ∈ [lo, hi)
+// to dst[t-lo]. The per-tree values are the exact summands Min folds and
+// median sorts, so a caller that folds them in ascending tree order (or
+// sorts a full gather) reproduces Min/Median bitwise — the contract the
+// sharded router relies on to merge partial per-tree results server-side.
+func (o *OracleIndex) perTreeDists(u, v graph.Node, lo, hi int, dst []float64) {
+	if u == v {
+		for i := range dst[: hi-lo : hi-lo] {
+			dst[i] = 0
+		}
+		return
+	}
+	ks := o.k * o.stride
+	if o.packed != nil {
+		kw := o.k * o.words
+		xu := o.packed[int(u)*kw : int(u)*kw+kw]
+		xv := o.packed[int(v)*kw : int(v)*kw+kw]
+		for t := lo; t < hi; t++ {
+			h := packedMergeHeight(xu[t*o.words:(t+1)*o.words], xv[t*o.words:(t+1)*o.words])
+			if ps := o.pwShared; ps != nil {
+				dst[t-lo] = ps[t*o.stride+h] + ps[t*o.stride+h]
+			} else {
+				dst[t-lo] = o.pw[int(u)*ks+t*o.stride+h] + o.pw[int(v)*ks+t*o.stride+h]
+			}
+		}
+		return
+	}
+	bu, bv := int(u)*ks, int(v)*ks
+	au, av := o.anc[bu:bu+ks], o.anc[bv:bv+ks]
+	for t := lo; t < hi; t++ {
+		off := t * o.stride
+		h := off + mergeHeight(au[off:off+o.stride], av[off:off+o.stride])
+		if ps := o.pwShared; ps != nil {
+			dst[t-lo] = ps[h] + ps[h]
+		} else {
+			dst[t-lo] = o.pw[bu+h] + o.pw[bv+h]
+		}
+	}
+}
+
+// PerTreeBatch answers the partial-ensemble query of the sharded serving
+// tier: for every pair it computes the individual tree distances of trees
+// [lo, hi), pair-major (out[i*(hi-lo) + (t-lo)] is pair i in tree t). A
+// router holding shards from several workers reassembles the full K-vector
+// of a pair by concatenating the shards in ascending tree order; folding
+// that vector with Min's strict < (or sorting it, for Median) reproduces the
+// single-process OracleIndex answers bitwise. Like MinBatch, out is reused
+// when it has capacity and the filled slice is returned.
+func (o *OracleIndex) PerTreeBatch(pairs []Pair, lo, hi int, out []float64) ([]float64, error) {
+	if lo < 0 || hi > o.k || lo >= hi {
+		return nil, fmt.Errorf("frt: tree shard [%d, %d) outside ensemble of %d trees", lo, hi, o.k)
+	}
+	w := hi - lo
+	out = sizeFor(out, len(pairs)*w)
+	par.ForEach(len(pairs), func(i int) {
+		o.perTreeDists(pairs[i].U, pairs[i].V, lo, hi, out[i*w:(i+1)*w])
+	})
+	return out, nil
 }
 
 // MinBatch answers Min for every pair, parallelised over par.ForEach. The

@@ -1,0 +1,70 @@
+package par
+
+import "context"
+
+// Limiter bounds the number of operations in flight at once — the
+// backpressure primitive of the serving tier. Unlike ForEach, which owns a
+// whole loop, a Limiter is shared across independently arriving work (e.g.
+// every /batch request a router is currently fanning out to its workers):
+// when the cap is reached, further Acquire calls block until an earlier
+// operation Releases or the caller's context expires, so a traffic spike
+// queues at the front door instead of multiplying upstream load without
+// bound.
+type Limiter struct {
+	slots chan struct{}
+}
+
+// NewLimiter returns a Limiter admitting at most n concurrent operations.
+// n < 1 is treated as 1: a limiter that admits nothing would deadlock every
+// caller, which is never what a misconfigured flag should mean.
+func NewLimiter(n int) *Limiter {
+	if n < 1 {
+		n = 1
+	}
+	return &Limiter{slots: make(chan struct{}, n)}
+}
+
+// Acquire blocks until a slot is free or ctx is done, returning ctx.Err() in
+// the latter case. On nil error the caller owns one slot and must Release it.
+func (l *Limiter) Acquire(ctx context.Context) error {
+	select {
+	case l.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	// Slow path: contended. Checking ctx only here keeps the uncontended
+	// acquire a single channel send.
+	select {
+	case l.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// TryAcquire takes a slot without blocking, reporting whether it got one.
+func (l *Limiter) TryAcquire() bool {
+	select {
+	case l.slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Release returns a slot taken by Acquire or TryAcquire. Releasing more than
+// was acquired panics — it means two code paths think they own one slot, a
+// bug worth crashing on rather than silently raising the cap.
+func (l *Limiter) Release() {
+	select {
+	case <-l.slots:
+	default:
+		panic("par: Limiter.Release without Acquire")
+	}
+}
+
+// InFlight reports the number of slots currently held (for /stats).
+func (l *Limiter) InFlight() int { return len(l.slots) }
+
+// Cap reports the limiter's capacity.
+func (l *Limiter) Cap() int { return cap(l.slots) }

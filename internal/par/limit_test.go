@@ -1,0 +1,94 @@
+package par
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestLimiterBoundsConcurrency(t *testing.T) {
+	l := NewLimiter(3)
+	if l.Cap() != 3 {
+		t.Fatalf("cap = %d, want 3", l.Cap())
+	}
+	var cur, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := l.Acquire(context.Background()); err != nil {
+				t.Error(err)
+				return
+			}
+			defer l.Release()
+			c := cur.Add(1)
+			for {
+				p := peak.Load()
+				if c <= p || peak.CompareAndSwap(p, c) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+		}()
+	}
+	wg.Wait()
+	if got := peak.Load(); got > 3 {
+		t.Fatalf("observed %d concurrent holders, cap 3", got)
+	}
+	if l.InFlight() != 0 {
+		t.Fatalf("in flight after drain: %d", l.InFlight())
+	}
+}
+
+func TestLimiterAcquireHonorsContext(t *testing.T) {
+	l := NewLimiter(1)
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := l.Acquire(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("blocked acquire returned %v, want DeadlineExceeded", err)
+	}
+	l.Release()
+	// The slot freed by Release must be acquirable again.
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	l.Release()
+}
+
+func TestLimiterTryAcquire(t *testing.T) {
+	l := NewLimiter(1)
+	if !l.TryAcquire() {
+		t.Fatal("empty limiter refused TryAcquire")
+	}
+	if l.TryAcquire() {
+		t.Fatal("full limiter granted TryAcquire")
+	}
+	if l.InFlight() != 1 {
+		t.Fatalf("in flight = %d, want 1", l.InFlight())
+	}
+	l.Release()
+	if !l.TryAcquire() {
+		t.Fatal("released slot not reusable")
+	}
+	l.Release()
+}
+
+func TestLimiterMinimumCapacityAndOverRelease(t *testing.T) {
+	l := NewLimiter(0)
+	if l.Cap() != 1 {
+		t.Fatalf("cap(NewLimiter(0)) = %d, want 1", l.Cap())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-release did not panic")
+		}
+	}()
+	l.Release()
+}

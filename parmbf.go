@@ -30,6 +30,8 @@
 package parmbf
 
 import (
+	"io"
+
 	"parmbf/internal/apps/buyatbulk"
 	"parmbf/internal/apps/kmedian"
 	"parmbf/internal/apps/steiner"
@@ -208,6 +210,35 @@ func NewTreeIndex(t *Tree) (*TreeIndex, error) { return frt.NewTreeIndex(t) }
 
 // Pair is a distance-query pair for the batched oracle APIs.
 type Pair = frt.Pair
+
+// SnapshotMeta records the provenance of a serialised ensemble (the shape
+// of the graph it was sampled from).
+type SnapshotMeta = frt.SnapshotMeta
+
+// WriteSnapshot serialises a built ensemble into the versioned binary
+// snapshot format served by `parmbfd -load`: a section-table header, flat
+// per-tree arrays, and a whole-file checksum. Reloading it and indexing
+// yields bitwise-identical query answers.
+func WriteSnapshot(w io.Writer, ens *Ensemble, meta SnapshotMeta) error {
+	return frt.WriteSnapshot(w, ens, meta)
+}
+
+// ReadSnapshot parses and validates a snapshot produced by WriteSnapshot.
+// Corrupt or hostile input is rejected with an error — never a panic or an
+// allocation proportional to unvalidated header counts.
+func ReadSnapshot(data []byte) (*Ensemble, SnapshotMeta, error) {
+	return frt.ReadSnapshot(data)
+}
+
+// WriteSnapshotFile atomically writes a snapshot file (temp file + rename).
+func WriteSnapshotFile(path string, ens *Ensemble, meta SnapshotMeta) error {
+	return frt.WriteSnapshotFile(path, ens, meta)
+}
+
+// ReadSnapshotFile reads and validates a snapshot file.
+func ReadSnapshotFile(path string) (*Ensemble, SnapshotMeta, error) {
+	return frt.ReadSnapshotFile(path)
+}
 
 // Embedder runs the tree-independent pipeline stages (hop set, simulated
 // graph H, oracle) once per graph and then draws any number of FRT trees

@@ -1,6 +1,8 @@
 package parmbf
 
 import (
+	"bytes"
+	"path/filepath"
 	"testing"
 )
 
@@ -172,5 +174,53 @@ func TestFacadeEmbedderEnsemble(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+func TestFacadeSnapshotRoundTrip(t *testing.T) {
+	g := RandomConnected(36, 90, 5, NewRNG(21))
+	ens, err := SampleEnsemble(g, 3, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "oracle.snap")
+	meta := SnapshotMeta{GraphNodes: g.N(), GraphEdges: g.M()}
+	if err := WriteSnapshotFile(path, ens, meta); err != nil {
+		t.Fatal(err)
+	}
+	ens2, meta2, err := ReadSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta2 != meta {
+		t.Fatalf("meta %+v, want %+v", meta2, meta)
+	}
+	idx, err := ens.Index()
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx2, err := ens2.Index()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N(); v += 2 {
+		for w := v; w < g.N(); w += 3 {
+			if idx.Min(Node(v), Node(w)) != idx2.Min(Node(v), Node(w)) {
+				t.Fatalf("reloaded Min(%d,%d) differs", v, w)
+			}
+		}
+	}
+
+	// The buffer-level API and the hostile-input contract are reachable
+	// from the facade too.
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, ens, meta); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadSnapshot(buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadSnapshot(buf.Bytes()[:16]); err == nil {
+		t.Fatal("truncated snapshot accepted")
 	}
 }
