@@ -66,7 +66,7 @@ func leRunner(g *graph.Graph, order *frt.Order, alpha float64) *mbf.Runner[float
 		Filter:        order.Filter(),
 		FilterInPlace: order.FilterInPlace(),
 		Weight:        func(_, _ graph.Node, w float64) float64 { return alpha * w },
-		Size:          func(m semiring.DistMap) int { return len(m) + 1 },
+		Size:          func(m semiring.DistMap) int { return m.Len() + 1 },
 	}
 }
 
@@ -75,8 +75,8 @@ func leRunner(g *graph.Graph, order *frt.Order, alpha float64) *mbf.Runner[float
 func maxListLen(x []semiring.DistMap) int {
 	max := 1
 	for _, l := range x {
-		if len(l) > max {
-			max = len(l)
+		if l.Len() > max {
+			max = l.Len()
 		}
 	}
 	return max

@@ -17,9 +17,9 @@ func TestKhanListsMatchExactLE(t *testing.T) {
 	filter := res.Order.Filter()
 	mod := semiring.DistMapModule{}
 	for v := 0; v < g.N(); v++ {
-		full := make(semiring.DistMap, 0, g.N())
+		full := semiring.NewDistMap(g.N())
 		for w := 0; w < g.N(); w++ {
-			full = append(full, semiring.Entry{Node: graph.Node(w), Dist: exact.At(v, w)})
+			full = full.Append(graph.Node(w), exact.At(v, w))
 		}
 		if want := filter(full); !mod.Equal(res.Lists[v], want) {
 			t.Fatalf("node %d: %v vs %v", v, res.Lists[v], want)

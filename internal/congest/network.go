@@ -1,8 +1,6 @@
 package congest
 
 import (
-	"sort"
-
 	"parmbf/internal/frt"
 	"parmbf/internal/graph"
 	"parmbf/internal/semiring"
@@ -48,7 +46,7 @@ func NewMessageNetwork(g *graph.Graph, order *frt.Order) *MessageNetwork {
 	}
 	for v := 0; v < n; v++ {
 		self := semiring.Entry{Node: graph.Node(v), Dist: 0}
-		net.state[v] = semiring.DistMap{self}
+		net.state[v] = semiring.FromEntries(self)
 		net.outbox[v] = make([][]semiring.Entry, g.Degree(graph.Node(v)))
 		for i := range net.outbox[v] {
 			net.outbox[v][i] = []semiring.Entry{self}
@@ -61,12 +59,13 @@ func NewMessageNetwork(g *graph.Graph, order *frt.Order) *MessageNetwork {
 // re-announced on all of v's edges.
 func (net *MessageNetwork) integrate(v graph.Node, e semiring.Entry) {
 	filter := net.order.Filter()
-	merged := (semiring.DistMapModule{}).Add(net.state[v], semiring.DistMap{e})
+	merged := (semiring.DistMapModule{}).Add(net.state[v], semiring.SingletonDist(e.Node, e.Dist))
 	next := filter(merged)
 	// Announce entries that are new or improved relative to the old list.
 	old := net.state[v]
 	net.state[v] = next
-	for _, ne := range next {
+	for i := 0; i < next.Len(); i++ {
+		ne := next.Entry(i)
 		if old.Get(ne.Node) > ne.Dist {
 			for i := range net.outbox[v] {
 				net.outbox[v][i] = append(net.outbox[v][i], ne)
@@ -155,7 +154,7 @@ func MessageKhan(g *graph.Graph, order *frt.Order) ([]semiring.DistMap, int) {
 	sorted := make([]semiring.DistMap, len(lists))
 	for v, l := range lists {
 		c := l.Clone()
-		sort.Slice(c, func(i, j int) bool { return c[i].Node < c[j].Node })
+		c.SortFunc(func(a, b semiring.Entry) bool { return a.Node < b.Node })
 		sorted[v] = c
 	}
 	return sorted, net.Rounds

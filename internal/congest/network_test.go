@@ -21,9 +21,9 @@ func TestMessageKhanMatchesExactLE(t *testing.T) {
 	filter := order.Filter()
 	mod := semiring.DistMapModule{}
 	for v := 0; v < g.N(); v++ {
-		full := make(semiring.DistMap, 0, g.N())
+		full := semiring.NewDistMap(g.N())
 		for w := 0; w < g.N(); w++ {
-			full = append(full, semiring.Entry{Node: graph.Node(w), Dist: exact.At(v, w)})
+			full = full.Append(graph.Node(w), exact.At(v, w))
 		}
 		if want := filter(full); !mod.Equal(lists[v], want) {
 			t.Fatalf("node %d: message protocol %v ≠ exact LE %v", v, lists[v], want)
@@ -73,7 +73,7 @@ func TestMessageRoundsTrackEstimate(t *testing.T) {
 	// any node — on a path that hop distance is |v − w|.
 	radius := 0
 	for v, l := range lists {
-		for _, e := range l {
+		for _, e := range l.Entries() {
 			if d := int(e.Node) - v; d > radius {
 				radius = d
 			} else if -d > radius {

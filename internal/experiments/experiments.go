@@ -219,10 +219,10 @@ func E4LELists(cfg Config) *Table {
 		lists, _ := frt.LEListsOnGraph(g, order, nil)
 		maxLen, sum := 0, 0
 		for _, l := range lists {
-			if len(l) > maxLen {
-				maxLen = len(l)
+			if l.Len() > maxLen {
+				maxLen = l.Len()
 			}
-			sum += len(l)
+			sum += l.Len()
 		}
 		ln := math.Log(float64(n))
 		t.Rows = append(t.Rows, []string{

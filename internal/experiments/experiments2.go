@@ -302,7 +302,7 @@ func A1Filtering(cfg Config) *Table {
 		Filter:        filter,
 		FilterInPlace: semiring.TopKFilterInPlace(k, semiring.Inf, nil),
 		Weight:        mbf.MinPlusWeight,
-		Size:          func(m semiring.DistMap) int { return len(m) + 1 },
+		Size:          func(m semiring.DistMap) int { return m.Len() + 1 },
 		Tracker:       trF,
 	}
 	filtered := frunner.Run(frt.InitialStates(n), h)
@@ -312,7 +312,7 @@ func A1Filtering(cfg Config) *Table {
 		Graph:   g,
 		Module:  semiring.DistMapModule{},
 		Weight:  mbf.MinPlusWeight,
-		Size:    func(m semiring.DistMap) int { return len(m) + 1 },
+		Size:    func(m semiring.DistMap) int { return m.Len() + 1 },
 		Tracker: trU,
 	}
 	unfiltered := runner.Run(frt.InitialStates(n), h)

@@ -37,9 +37,9 @@ func BenchmarkLEFilter(b *testing.B) {
 	order := NewOrder(256, rng)
 	filter := order.Filter()
 	// A worst-case-ish unfiltered state: 64 entries with random distances.
-	input := make(semiring.DistMap, 0, 64)
+	input := semiring.NewDistMap(64)
 	for node := semiring.NodeID(0); node < 256; node += 4 {
-		input = append(input, semiring.Entry{Node: node, Dist: float64(rng.Intn(1000))})
+		input = input.Append(node, float64(rng.Intn(1000)))
 	}
 	b.ReportAllocs()
 	b.ResetTimer()

@@ -28,17 +28,17 @@ func TestNewOrderIsPermutation(t *testing.T) {
 // bruteLE computes the LE list of Definition 7.3 by direct domination
 // checks.
 func bruteLE(x semiring.DistMap, o *Order) semiring.DistMap {
-	var out semiring.DistMap
-	for _, e := range x {
+	out := semiring.DistMap{}
+	for _, e := range x.Entries() {
 		dominated := false
-		for _, f := range x {
+		for _, f := range x.Entries() {
 			if o.Rank[f.Node] < o.Rank[e.Node] && f.Dist <= e.Dist {
 				dominated = true
 				break
 			}
 		}
 		if !dominated {
-			out = append(out, e)
+			out = out.Append(e.Node, e.Dist)
 		}
 	}
 	return out
@@ -50,11 +50,11 @@ func TestLEFilterMatchesBruteForce(t *testing.T) {
 	filter := o.Filter()
 	mod := semiring.DistMapModule{}
 	for trial := 0; trial < 100; trial++ {
-		var x semiring.DistMap
+		x := semiring.DistMap{}
 		node := semiring.NodeID(0)
 		for node < 20 {
 			if rng.Float64() < 0.5 {
-				x = append(x, semiring.Entry{Node: node, Dist: float64(rng.Intn(8))})
+				x = x.Append(node, float64(rng.Intn(8)))
 			}
 			node++
 		}
@@ -70,12 +70,12 @@ func TestLEFilterIsCongruence(t *testing.T) {
 	rng := par.NewRNG(3)
 	o := NewOrder(12, rng)
 	var elems []semiring.DistMap
-	elems = append(elems, nil)
+	elems = append(elems, semiring.DistMap{})
 	for i := 0; i < 12; i++ {
-		var x semiring.DistMap
+		x := semiring.DistMap{}
 		for node := semiring.NodeID(0); node < 12; node++ {
 			if rng.Float64() < 0.4 {
-				x = append(x, semiring.Entry{Node: node, Dist: float64(rng.Intn(10))})
+				x = x.Append(node, float64(rng.Intn(10)))
 			}
 		}
 		elems = append(elems, x)
@@ -91,9 +91,9 @@ func TestLEFilterOutputShape(t *testing.T) {
 	rng := par.NewRNG(4)
 	o := NewOrder(30, rng)
 	filter := o.Filter()
-	var x semiring.DistMap
+	x := semiring.NewDistMap(30)
 	for node := semiring.NodeID(0); node < 30; node++ {
-		x = append(x, semiring.Entry{Node: node, Dist: float64(rng.Intn(100))})
+		x = x.Append(node, float64(rng.Intn(100)))
 	}
 	got := filter(x)
 	if !got.IsSorted() {
@@ -101,16 +101,16 @@ func TestLEFilterOutputShape(t *testing.T) {
 	}
 	// By increasing distance, ranks strictly decrease.
 	byDist := SortByDist(got)
-	for i := 1; i < len(byDist); i++ {
-		if byDist[i].Dist < byDist[i-1].Dist {
+	for i := 1; i < byDist.Len(); i++ {
+		if byDist.Dist(i) < byDist.Dist(i-1) {
 			t.Fatal("SortByDist violated")
 		}
-		if o.Rank[byDist[i].Node] >= o.Rank[byDist[i-1].Node] {
+		if o.Rank[byDist.Node(i)] >= o.Rank[byDist.Node(i-1)] {
 			t.Fatal("ranks not strictly decreasing along LE list")
 		}
 	}
 	// The minimum-rank node present always survives.
-	if byDist[len(byDist)-1].Node != o.MinNode() && got.Get(o.MinNode()) == semiring.Inf {
+	if byDist.Node(byDist.Len()-1) != o.MinNode() && got.Get(o.MinNode()) == semiring.Inf {
 		// MinNode may be absent from x; only check if it was present.
 		if x.Get(o.MinNode()) != semiring.Inf {
 			t.Fatal("rank-0 entry filtered out")
@@ -130,9 +130,9 @@ func TestLEListsOnGraphMatchExactMetricLE(t *testing.T) {
 	filter := o.Filter()
 	mod := semiring.DistMapModule{}
 	for v := 0; v < g.N(); v++ {
-		full := make(semiring.DistMap, 0, g.N())
+		full := semiring.NewDistMap(g.N())
 		for w := 0; w < g.N(); w++ {
-			full = append(full, semiring.Entry{Node: graph.Node(w), Dist: exact.At(v, w)})
+			full = full.Append(graph.Node(w), exact.At(v, w))
 		}
 		want := filter(full)
 		if !mod.Equal(lists[v], want) {
@@ -204,11 +204,11 @@ func TestBuildTreeRejectsBadInput(t *testing.T) {
 	if _, err := BuildTree(nil, o, 1.5); err == nil {
 		t.Fatal("empty input accepted")
 	}
-	lists := []semiring.DistMap{{{Node: 0, Dist: 0}}}
+	lists := []semiring.DistMap{semiring.SingletonDist(0, 0)}
 	if _, err := BuildTree(lists, o, 2.5); err == nil {
 		t.Fatal("β out of range accepted")
 	}
-	if _, err := BuildTree([]semiring.DistMap{nil}, o, 1.5); err == nil {
+	if _, err := BuildTree([]semiring.DistMap{{}}, o, 1.5); err == nil {
 		t.Fatal("empty LE list accepted")
 	}
 }
@@ -453,5 +453,31 @@ func TestRandomBetaDistribution(t *testing.T) {
 	frac := float64(below) / trials
 	if frac < 0.47 || frac > 0.53 {
 		t.Fatalf("P[β < √2] = %.3f, want ≈ 0.5", frac)
+	}
+}
+
+// TestLEListsOnGraphBatchMatchesPerOrder pins the batched LE-list
+// construction: B independent orders advanced as one multi-source sweep must
+// produce, order for order, exactly the lists and iteration counts of the
+// per-order runs.
+func TestLEListsOnGraphBatchMatchesPerOrder(t *testing.T) {
+	rng := par.NewRNG(31)
+	g := graph.RandomConnected(36, 85, 7, rng)
+	orders := make([]*Order, 4)
+	for i := range orders {
+		orders[i] = NewOrder(g.N(), rng)
+	}
+	gotLists, gotIters := LEListsOnGraphBatch(g, orders, nil)
+	mod := semiring.DistMapModule{}
+	for b, o := range orders {
+		want, wantIters := LEListsOnGraph(g, o, nil)
+		if gotIters[b] != wantIters {
+			t.Fatalf("order %d: batch ran %d iterations, solo %d", b, gotIters[b], wantIters)
+		}
+		for v := range want {
+			if !mod.Equal(gotLists[b][v], want[v]) {
+				t.Fatalf("order %d node %d: batch %v ≠ solo %v", b, v, gotLists[b][v], want[v])
+			}
+		}
 	}
 }

@@ -8,10 +8,6 @@
 package frt
 
 import (
-	"cmp"
-	"slices"
-	"sort"
-
 	"parmbf/internal/graph"
 	"parmbf/internal/mbf"
 	"parmbf/internal/par"
@@ -77,26 +73,26 @@ func (o *Order) Filter() semiring.Filter[semiring.DistMap] {
 func (o *Order) FilterInPlace() semiring.Filter[semiring.DistMap] {
 	rank := o.Rank
 	return func(x semiring.DistMap) semiring.DistMap {
-		if len(x) == 0 {
-			return nil
+		if x.Len() == 0 {
+			return semiring.DistMap{}
 		}
 		// Sort by (distance, rank): a sweep then keeps exactly the entries
 		// that no earlier entry dominates.
-		slices.SortFunc(x, func(a, b semiring.Entry) int {
+		x.SortFunc(func(a, b semiring.Entry) bool {
 			if a.Dist != b.Dist {
-				return cmp.Compare(a.Dist, b.Dist)
+				return a.Dist < b.Dist
 			}
-			return cmp.Compare(rank[a.Node], rank[b.Node])
+			return rank[a.Node] < rank[b.Node]
 		})
-		kept := x[:0]
 		best := ^uint64(0)
-		for _, e := range x {
+		kept := x.Compact(func(e semiring.Entry) bool {
 			if rank[e.Node] < best {
 				best = rank[e.Node]
-				kept = append(kept, e)
+				return true
 			}
-		}
-		slices.SortFunc(kept, func(a, b semiring.Entry) int { return cmp.Compare(a.Node, b.Node) })
+			return false
+		})
+		kept.SortFunc(func(a, b semiring.Entry) bool { return a.Node < b.Node })
 		return kept
 	}
 }
@@ -105,7 +101,14 @@ func (o *Order) FilterInPlace() semiring.Filter[semiring.DistMap] {
 // used by the tree construction): ranks strictly decrease along the result.
 func SortByDist(x semiring.DistMap) semiring.DistMap {
 	out := x.Clone()
-	sort.Slice(out, func(i, j int) bool { return out[i].Dist < out[j].Dist })
+	// Survivor distances are distinct up to the dominating entry, and node
+	// IDs break any remaining ties, so this order is total.
+	out.SortFunc(func(a, b semiring.Entry) bool {
+		if a.Dist != b.Dist {
+			return a.Dist < b.Dist
+		}
+		return a.Node < b.Node
+	})
 	return out
 }
 
@@ -114,7 +117,7 @@ func SortByDist(x semiring.DistMap) semiring.DistMap {
 func InitialStates(n int) []semiring.DistMap {
 	x0 := make([]semiring.DistMap, n)
 	for v := range x0 {
-		x0[v] = semiring.DistMap{{Node: graph.Node(v), Dist: 0}}
+		x0[v] = semiring.SingletonDist(graph.Node(v), 0)
 	}
 	return x0
 }
@@ -127,16 +130,36 @@ func InitialStates(n int) []semiring.DistMap {
 // sparse iterations performed, including the final one that confirms the
 // fixpoint (see mbf.Runner.RunToFixpoint).
 func LEListsOnGraph(g *graph.Graph, order *Order, tracker *par.Tracker) ([]semiring.DistMap, int) {
+	lists, iters := LEListsOnGraphBatch(g, []*Order{order}, tracker)
+	return lists[0], iters[0]
+}
+
+// LEListsOnGraphBatch computes the LE lists of a graph under B independent
+// random orders — the B tree samples of an FRT ensemble — as one batched
+// multi-source sweep (mbf.Runner.RunToFixpointBatch): every iteration makes
+// a single pass over the CSR arcs serving all orders at once, sharing the
+// per-arc weights and merge scratch across lanes, with bit-packed per-node
+// lane masks tracking which orders can still change where. Lane b's lists
+// and iteration count equal LEListsOnGraph(g, orders[b], …) exactly (pinned
+// by the batch differential tests).
+func LEListsOnGraphBatch(g *graph.Graph, orders []*Order, tracker *par.Tracker) ([][]semiring.DistMap, []int) {
 	runner := &mbf.Runner[float64, semiring.DistMap]{
-		Graph:         g,
-		Module:        semiring.DistMapModule{},
-		Filter:        order.Filter(),
-		FilterInPlace: order.FilterInPlace(),
-		Weight:        mbf.MinPlusWeight,
-		Size:          func(m semiring.DistMap) int { return len(m) + 1 },
-		Tracker:       tracker,
+		Graph:   g,
+		Module:  semiring.DistMapModule{},
+		Weight:  mbf.MinPlusWeight,
+		Size:    func(m semiring.DistMap) int { return m.Len() + 1 },
+		Tracker: tracker,
 	}
-	return runner.RunToFixpoint(InitialStates(g.N()), g.N())
+	xs := make([][]semiring.DistMap, len(orders))
+	lanes := make([]mbf.BatchLane[semiring.DistMap], len(orders))
+	for b, order := range orders {
+		xs[b] = InitialStates(g.N())
+		lanes[b] = mbf.BatchLane[semiring.DistMap]{
+			Filter:        order.Filter(),
+			FilterInPlace: order.FilterInPlace(),
+		}
+	}
+	return runner.RunToFixpointBatch(xs, lanes, g.N())
 }
 
 // LEListsFromMetric computes LE lists directly from an explicit metric — the
@@ -148,10 +171,10 @@ func LEListsFromMetric(m *graph.Matrix, order *Order, tracker *par.Tracker) []se
 	out := make([]semiring.DistMap, n)
 	filter := order.Filter()
 	par.ForEach(n, func(v int) {
-		full := make(semiring.DistMap, 0, n)
+		full := semiring.NewDistMap(n)
 		for w := 0; w < n; w++ {
 			if d := m.At(v, w); !semiring.IsInf(d) {
-				full = append(full, semiring.Entry{Node: graph.Node(w), Dist: d})
+				full = full.Append(graph.Node(w), d)
 			}
 		}
 		out[v] = filter(full)
@@ -165,8 +188,8 @@ func LEListsFromMetric(m *graph.Matrix, order *Order, tracker *par.Tracker) []se
 func MaxLELength(lists []semiring.DistMap) int {
 	max := 0
 	for _, l := range lists {
-		if len(l) > max {
-			max = len(l)
+		if l.Len() > max {
+			max = l.Len()
 		}
 	}
 	return max

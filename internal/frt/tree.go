@@ -178,18 +178,18 @@ func BuildTree(lists []semiring.DistMap, order *Order, beta float64) (*Tree, err
 	sorted := make([]semiring.DistMap, n)
 	dmin, dmax := semiring.Inf, 0.0
 	for v, l := range lists {
-		if len(l) == 0 {
+		if l.Len() == 0 {
 			return nil, fmt.Errorf("frt: empty LE list at node %d", v)
 		}
 		s := SortByDist(l)
-		if s[0].Node != graph.Node(v) || s[0].Dist != 0 {
+		if s.Node(0) != graph.Node(v) || s.Dist(0) != 0 {
 			return nil, fmt.Errorf("frt: LE list of %d lacks self at distance 0", v)
 		}
 		sorted[v] = s
-		if len(s) > 1 && s[1].Dist < dmin {
-			dmin = s[1].Dist
+		if s.Len() > 1 && s.Dist(1) < dmin {
+			dmin = s.Dist(1)
 		}
-		if last := s[len(s)-1].Dist; last > dmax {
+		if last := s.Dist(s.Len() - 1); last > dmax {
 			dmax = last
 		}
 	}
@@ -214,10 +214,10 @@ func BuildTree(lists []semiring.DistMap, order *Order, beta float64) (*Tree, err
 	center := func(v int, i int) graph.Node {
 		r := beta * math.Pow(2, float64(i))
 		s := sorted[v]
-		best := s[0].Node
-		for _, e := range s {
-			if e.Dist <= r {
-				best = e.Node
+		best := s.Node(0)
+		for j := 0; j < s.Len(); j++ {
+			if s.Dist(j) <= r {
+				best = s.Node(j)
 			} else {
 				break
 			}

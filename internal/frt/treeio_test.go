@@ -180,11 +180,11 @@ func TestQuickLEFilterProjection(t *testing.T) {
 		filter := o.Filter()
 		var x, y semiring.DistMap
 		for i, b := range raw {
-			e := semiring.Entry{Node: graph.Node(int32(i % 16)), Dist: float64(b)}
+			node, dist := graph.Node(int32(i%16)), float64(b)
 			if i%2 == 0 {
-				x = append(x, e)
+				x = x.Append(node, dist)
 			} else {
-				y = append(y, e)
+				y = y.Append(node, dist)
 			}
 		}
 		xs, ys := semiring.Normalize(x), semiring.Normalize(y)

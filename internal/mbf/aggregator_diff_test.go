@@ -70,7 +70,7 @@ func TestFastPathMatchesFoldDistMap(t *testing.T) {
 		x0 := make([]semiring.DistMap, g.N())
 		for v := range x0 {
 			if sources(graph.Node(v)) {
-				x0[v] = semiring.DistMap{{Node: graph.Node(v), Dist: 0}}
+				x0[v] = semiring.SingletonDist(graph.Node(v), 0)
 			}
 		}
 		runBoth(t, r, x0, 6)
@@ -86,7 +86,7 @@ func TestFastPathMatchesFoldDistMapUnfiltered(t *testing.T) {
 	}
 	x0 := make([]semiring.DistMap, g.N())
 	for v := range x0 {
-		x0[v] = semiring.DistMap{{Node: graph.Node(v), Dist: 0}}
+		x0[v] = semiring.SingletonDist(graph.Node(v), 0)
 	}
 	runBoth(t, r, x0, 4)
 }
@@ -154,7 +154,7 @@ func TestFastPathDoesNotMutateInput(t *testing.T) {
 	}
 	x := make([]semiring.DistMap, g.N())
 	for v := range x {
-		x[v] = semiring.DistMap{{Node: graph.Node(v), Dist: 0}}
+		x[v] = semiring.SingletonDist(graph.Node(v), 0)
 	}
 	for it := 0; it < 5; it++ {
 		snapshot := make([]semiring.DistMap, len(x))
@@ -186,7 +186,7 @@ func TestFastPathDeterministicAcrossMaxProcs(t *testing.T) {
 		}
 		x0 := make([]semiring.DistMap, g.N())
 		for v := range x0 {
-			x0[v] = semiring.DistMap{{Node: graph.Node(v), Dist: 0}}
+			x0[v] = semiring.SingletonDist(graph.Node(v), 0)
 		}
 		return x0, r
 	}

@@ -26,7 +26,7 @@ func iterateBench(generic bool) (*Runner[float64, semiring.DistMap], []semiring.
 	}
 	x := make([]semiring.DistMap, g.N())
 	for v := range x {
-		x[v] = semiring.DistMap{{Node: graph.Node(v), Dist: 0}}
+		x[v] = semiring.SingletonDist(graph.Node(v), 0)
 	}
 	for i := 0; i < 4; i++ {
 		x = r.Iterate(x)
@@ -75,7 +75,7 @@ func fixpointBenchRunner() (*Runner[float64, semiring.DistMap], []semiring.DistM
 		Weight:        MinPlusWeight,
 	}
 	x0 := make([]semiring.DistMap, g.N())
-	x0[0] = semiring.DistMap{{Node: 0, Dist: 0}}
+	x0[0] = semiring.SingletonDist(0, 0)
 	return r, x0
 }
 
@@ -134,6 +134,45 @@ func BenchmarkSourceDetection4096(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		SourceDetection(g, nil, 8, semiring.Inf, 8, nil)
+	}
+}
+
+// sourceDetectionSets are the 8 source sets of the batch-vs-sequential
+// comparison below.
+func sourceDetectionSets() []func(graph.Node) bool {
+	sets := make([]func(graph.Node) bool, 8)
+	for i := range sets {
+		mod := graph.Node(i + 2)
+		sets[i] = func(v graph.Node) bool { return v%mod == 0 }
+	}
+	return sets
+}
+
+// BenchmarkSourceDetectionBatch8 runs 8 source-detection instances as ONE
+// batched multi-source sweep (shared CSR pass, bit-packed lane masks) at
+// n=1024. Its counterpart below runs the same 8 instances sequentially; the
+// ratio in BENCH_mbf.json is the recorded speedup of the batch path.
+func BenchmarkSourceDetectionBatch8(b *testing.B) {
+	g := graph.RandomConnected(1024, 4096, 8, par.NewRNG(9))
+	sets := sourceDetectionSets()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SourceDetectionBatch(g, sets, 8, semiring.Inf, 8, nil)
+	}
+}
+
+// BenchmarkSourceDetectionPerSet8 is the sequential baseline of the batch
+// benchmark: the same 8 instances, one RunToFixpoint each.
+func BenchmarkSourceDetectionPerSet8(b *testing.B) {
+	g := graph.RandomConnected(1024, 4096, 8, par.NewRNG(9))
+	sets := sourceDetectionSets()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, sources := range sets {
+			SourceDetection(g, sources, 8, semiring.Inf, 8, nil)
+		}
 	}
 }
 

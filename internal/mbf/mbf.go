@@ -104,6 +104,9 @@ type Runner[S, M any] struct {
 	// Congest simulation, which needs per-step round accounting) iterate
 	// as cheaply as RunToFixpoint's internal loop.
 	deltaPool sync.Pool // *deltaScratch
+	// batchPool recycles the per-worker buffers of the batched multi-source
+	// sweep (batch.go).
+	batchPool sync.Pool // *batchScratch[S, M]
 }
 
 // iterScratch is one worker's reusable aggregation state: the term buffer
@@ -134,13 +137,45 @@ func (r *Runner[S, M]) filter(x M) M {
 	return r.Filter(x)
 }
 
-// filterOwned filters a value the engine owns exclusively, preferring the
-// in-place variant when the caller provided one.
-func (r *Runner[S, M]) filterOwned(x M) M {
+// ownedFilter returns the filter the engine applies to values it owns
+// exclusively: the in-place variant when the caller provided one, the pure
+// one otherwise (nil when unfiltered).
+func (r *Runner[S, M]) ownedFilter() semiring.Filter[M] {
 	if r.FilterInPlace != nil {
-		return r.FilterInPlace(x)
+		return r.FilterInPlace
 	}
-	return r.filter(x)
+	return r.Filter
+}
+
+// filterOwned filters a value the engine owns exclusively.
+func (r *Runner[S, M]) filterOwned(x M) M {
+	if f := r.ownedFilter(); f != nil {
+		return f(x)
+	}
+	return x
+}
+
+// getIter pops a pooled per-worker aggregation scratch; putIter drops the
+// state references the term buffer accumulated since getIter and returns it
+// to the pool. The iteration loops call the pair once per ForEachChunk range,
+// not once per node: the pool round trip and the reference-dropping barrier
+// writes are per-worker-chunk costs, which matters on wavefront-shaped
+// fixpoints where most recomputes are near-trivial.
+func (r *Runner[S, M]) getIter() *iterScratch[S, M] {
+	st, _ := r.scratch.Get().(*iterScratch[S, M])
+	if st == nil {
+		st = new(iterScratch[S, M])
+	}
+	return st
+}
+
+func (r *Runner[S, M]) putIter(st *iterScratch[S, M]) {
+	t := st.terms[:cap(st.terms)]
+	var zero semiring.Term[S, M]
+	for i := range t {
+		t[i] = zero // drop state references so the pool cannot pin them
+	}
+	r.scratch.Put(st)
 }
 
 // recompute derives one node's next state x'(v) = r(x(v) ⊕ ⊕_w a_vw ⊙ x(w))
@@ -148,22 +183,27 @@ func (r *Runner[S, M]) filterOwned(x M) M {
 // through the generic Add/SMul fold otherwise — and returns it together with
 // the work to charge for the node (0 when no Tracker is attached). Both
 // paths charge identically: the node's own state, every propagated state,
-// and the filtered output.
-func (r *Runner[S, M]) recompute(vi int, x []M, agg semiring.Aggregator[S, M], fast bool) (M, int64) {
+// and the filtered output. st carries the worker's pooled term buffer and
+// merge scratch; the fast path leaves its state references in st.terms for
+// putIter to drop once per chunk.
+func (r *Runner[S, M]) recompute(vi int, x []M, st *iterScratch[S, M], agg semiring.Aggregator[S, M], fa semiring.FilteredAggregator[S, M], fast bool) (M, int64) {
 	g := r.Graph
 	v := graph.Node(vi)
 	var work int64
 	if fast {
-		st, _ := r.scratch.Get().(*iterScratch[S, M])
-		if st == nil {
-			st = new(iterScratch[S, M])
-		}
 		terms := st.terms[:0]
 		for _, a := range g.Neighbors(v) {
 			terms = append(terms, semiring.Term[S, M]{S: r.Weight(v, a.To, a.Weight), X: x[a.To]})
 		}
-		acc := agg.Aggregate(&st.sc, x[vi], terms)
-		out := r.filterOwned(acc)
+		var out M
+		if fa != nil {
+			// Fused merge-and-filter: the raw merge lives in scratch and only
+			// the filtered survivors are allocated (right-sized states keep
+			// the vector cache-dense for the next iteration).
+			out = fa.AggregateFiltered(&st.sc, x[vi], terms, r.ownedFilter())
+		} else {
+			out = r.filterOwned(agg.Aggregate(&st.sc, x[vi], terms))
+		}
 		if r.Tracker != nil {
 			work = int64(r.size(x[vi]))
 			for _, t := range terms {
@@ -171,12 +211,7 @@ func (r *Runner[S, M]) recompute(vi int, x []M, agg semiring.Aggregator[S, M], f
 			}
 			work += int64(r.size(out))
 		}
-		var zero semiring.Term[S, M]
-		for i := range terms {
-			terms[i] = zero // drop state references before pooling
-		}
 		st.terms = terms[:0]
-		r.scratch.Put(st)
 		return out, work
 	}
 	// Diagonal term: a_{vv} = 1, so the node keeps its own state.
@@ -229,18 +264,33 @@ func (r *Runner[S, M]) Iterate(x []M) []M {
 	if len(x) != n {
 		panic("mbf: state vector length does not match graph size")
 	}
-	out := make([]M, n)
+	return r.iterateInto(x, make([]M, n))
+}
+
+// iterateInto is Iterate writing into a caller-provided output vector, which
+// it fully overwrites and returns. RunToFixpointDense ping-pongs two vectors
+// through it so a fixpoint run allocates two state-header vectors total
+// instead of one per iteration.
+func (r *Runner[S, M]) iterateInto(x, out []M) []M {
+	n := r.Graph.N()
 	var workPerNode []int64
 	if r.Tracker != nil {
 		workPerNode = make([]int64, n)
 	}
 	agg, fast := r.Module.(semiring.Aggregator[S, M])
-	par.ForEach(n, func(vi int) {
-		st, work := r.recompute(vi, x, agg, fast)
-		out[vi] = st
-		if workPerNode != nil {
-			workPerNode[vi] = work
+	// The fused-path assertion is hoisted out of the per-node loop: generic
+	// interface assertions go through the runtime, too slow per node.
+	fa, _ := r.Module.(semiring.FilteredAggregator[S, M])
+	par.ForEachChunk(n, func(start, end int) {
+		st := r.getIter()
+		for vi := start; vi < end; vi++ {
+			s, work := r.recompute(vi, x, st, agg, fa, fast)
+			out[vi] = s
+			if workPerNode != nil {
+				workPerNode[vi] = work
+			}
 		}
+		r.putIter(st)
 	})
 	r.chargePhase(workPerNode)
 	return out
@@ -339,16 +389,21 @@ func (r *Runner[S, M]) iterateDelta(x []M, frontier []graph.Node, ds *deltaScrat
 		}
 	}
 	agg, fast := r.Module.(semiring.Aggregator[S, M])
-	par.ForEach(len(cand), func(i int) {
-		v := cand[i]
-		st, work := r.recompute(int(v), x, agg, fast)
-		if workPerNode != nil {
-			workPerNode[i] = work
+	fa, _ := r.Module.(semiring.FilteredAggregator[S, M])
+	par.ForEachChunk(len(cand), func(start, end int) {
+		st := r.getIter()
+		for i := start; i < end; i++ {
+			v := cand[i]
+			s, work := r.recompute(int(v), x, st, agg, fa, fast)
+			if workPerNode != nil {
+				workPerNode[i] = work
+			}
+			if !r.Module.Equal(s, x[v]) {
+				states[i] = s
+				changed[i] = true
+			}
 		}
-		if !r.Module.Equal(st, x[v]) {
-			states[i] = st
-			changed[i] = true
-		}
+		r.putIter(st)
 	})
 	r.chargePhase(workPerNode)
 	// Write-back after the parallel read phase: no candidate may observe a
@@ -440,12 +495,15 @@ func (r *Runner[S, M]) RunToFixpointDense(x0 []M, maxIter int) ([]M, int) {
 	for i, s := range x0 {
 		x[i] = r.filter(s)
 	}
+	// Ping-pong between two vectors: iterateInto fully overwrites its output,
+	// so the vector from two iterations ago can carry the next one.
+	spare := make([]M, len(x))
 	for it := 1; it <= maxIter; it++ {
-		next := r.Iterate(x)
+		next := r.iterateInto(x, spare)
 		if r.statesEqual(x, next) {
 			return next, it
 		}
-		x = next
+		x, spare = next, x
 	}
 	return x, maxIter
 }

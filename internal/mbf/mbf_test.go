@@ -89,7 +89,7 @@ func TestSourceDetectionBruteForce(t *testing.T) {
 		if len(cands) > k {
 			cands = cands[:k]
 		}
-		if len(got[v]) != len(cands) {
+		if got[v].Len() != len(cands) {
 			t.Fatalf("node %d: got %v, want %v", v, got[v], cands)
 		}
 		for _, c := range cands {
@@ -107,7 +107,7 @@ func TestSourceDetectionUsesHopDistanceCorrectly(t *testing.T) {
 	g := graph.PathGraph(3, 1)
 	isSource := func(v graph.Node) bool { return v == 0 }
 	got := SourceDetection(g, isSource, 1, semiring.Inf, 5, nil)
-	if len(got[2]) != 0 {
+	if got[2].Len() != 0 {
 		t.Fatalf("node 2 learned %v within 1 hop", got[2])
 	}
 	if got[1].Get(0) != 1 {
@@ -121,8 +121,8 @@ func TestKSSPReturnsKClosest(t *testing.T) {
 	res := KSSP(g, k, g.N(), nil)
 	exact := graph.APSPDijkstra(g)
 	for v := 0; v < g.N(); v++ {
-		if len(res[v]) != k {
-			t.Fatalf("node %d: %d entries, want %d", v, len(res[v]), k)
+		if res[v].Len() != k {
+			t.Fatalf("node %d: %d entries, want %d", v, res[v].Len(), k)
 		}
 		// The k entries must be the k smallest exact distances with
 		// (dist, id) tie-breaking.
@@ -153,8 +153,8 @@ func TestMSSP(t *testing.T) {
 	sources := []graph.Node{2, 11, 17}
 	res := MSSP(g, sources, g.N(), nil)
 	for v := 0; v < g.N(); v++ {
-		if len(res[v]) != len(sources) {
-			t.Fatalf("node %d sees %d sources, want %d", v, len(res[v]), len(sources))
+		if res[v].Len() != len(sources) {
+			t.Fatalf("node %d sees %d sources, want %d", v, res[v].Len(), len(sources))
 		}
 		for _, s := range sources {
 			want := graph.Dijkstra(g, s).Dist[v]
@@ -394,7 +394,7 @@ func TestFilteringDoesNotChangeOutput(t *testing.T) {
 	}
 	x0 := make([]semiring.DistMap, g.N())
 	for v := range x0 {
-		x0[v] = semiring.DistMap{{Node: graph.Node(v), Dist: 0}}
+		x0[v] = semiring.SingletonDist(graph.Node(v), 0)
 	}
 	unfiltered := unfilteredRunner.Run(x0, h)
 

@@ -209,7 +209,7 @@ func TestMatSizeMismatchPanics(t *testing.T) {
 func InitialStatesDistMaps(n int) []semiring.DistMap {
 	x0 := make([]semiring.DistMap, n)
 	for v := range x0 {
-		x0[v] = semiring.DistMap{{Node: graph.Node(v), Dist: 0}}
+		x0[v] = semiring.SingletonDist(graph.Node(v), 0)
 	}
 	return x0
 }

@@ -80,7 +80,7 @@ func TestSparseFixpointMatchesDenseDistMap(t *testing.T) {
 				x0 := make([]semiring.DistMap, g.N())
 				for v := range x0 {
 					if sources(graph.Node(v)) {
-						x0[v] = semiring.DistMap{{Node: graph.Node(v), Dist: 0}}
+						x0[v] = semiring.SingletonDist(graph.Node(v), 0)
 					}
 				}
 				fixpointBoth(t, r, x0, g.N())
@@ -155,7 +155,7 @@ func TestIterateDeltaMatchesIterate(t *testing.T) {
 	xd := make([]semiring.DistMap, g.N())
 	for v := range xd {
 		if v%2 == 0 {
-			xd[v] = r.filter(semiring.DistMap{{Node: graph.Node(v), Dist: 0}})
+			xd[v] = r.filter(semiring.SingletonDist(graph.Node(v), 0))
 		}
 	}
 	xs := append([]semiring.DistMap(nil), xd...)
@@ -233,7 +233,7 @@ func TestSparseFixpointAllBottomInput(t *testing.T) {
 		t.Fatalf("all-⊥ input ran %d iterations, want 0", iters)
 	}
 	for v, s := range out {
-		if len(s) != 0 {
+		if s.Len() != 0 {
 			t.Fatalf("node %d: ⊥ input produced non-⊥ state %v", v, s)
 		}
 	}
@@ -281,7 +281,7 @@ func TestZeroUnstableFilterFallsBackDense(t *testing.T) {
 // Weight can return the semiring zero (a dead edge, whose propagated state
 // collapses to ⊥).
 func TestTrackerParityFastVsGeneric(t *testing.T) {
-	size := func(x semiring.DistMap) int { return len(x) + 1 }
+	size := func(x semiring.DistMap) int { return x.Len() + 1 }
 	// Weight that kills every arc into or out of node 0: propagation over
 	// those arcs yields ⊥, which the generic path charges as size 1.
 	deadWeight := func(from, to graph.Node, w float64) float64 {
@@ -300,14 +300,14 @@ func TestTrackerParityFastVsGeneric(t *testing.T) {
 			if semiring.IsInf(s) {
 				return 1 // size of ⊥ under Size = len+1
 			}
-			return len(x) + 1
+			return x.Len() + 1
 		}},
 	} {
 		t.Run(cfg.name, func(t *testing.T) {
 			g := diffGraph(20)
 			x0 := make([]semiring.DistMap, g.N())
 			for v := range x0 {
-				x0[v] = semiring.DistMap{{Node: graph.Node(v), Dist: 0}}
+				x0[v] = semiring.SingletonDist(graph.Node(v), 0)
 			}
 			fastTr, slowTr := &par.Tracker{}, &par.Tracker{}
 			fast := &Runner[float64, semiring.DistMap]{

@@ -67,15 +67,16 @@ func approximateOnH(h *simgraph.H, tracker *par.Tracker) *Result {
 	oracle := simgraph.NewOracle(h, tracker)
 	x0 := make([]semiring.DistMap, n)
 	for v := range x0 {
-		x0[v] = semiring.DistMap{{Node: graph.Node(v), Dist: 0}}
+		x0[v] = semiring.SingletonDist(graph.Node(v), 0)
 	}
 	identity := semiring.Identity[semiring.DistMap]()
 	states, iters := oracle.RunToFixpoint(x0, identity, simgraph.MaxIters(n))
 
 	m := graph.NewMatrix(n)
 	par.ForEach(n, func(v int) {
-		for _, e := range states[v] {
-			m.Set(v, int(e.Node), e.Dist)
+		s := states[v]
+		for i := 0; i < s.Len(); i++ {
+			m.Set(v, int(s.Node(i)), s.Dist(i))
 		}
 	})
 	return &Result{

@@ -67,6 +67,50 @@ func ForEach(n int, body func(i int)) {
 	wg.Wait()
 }
 
+// ForEachChunk invokes body(start, end) over disjoint half-open ranges
+// covering [0, n), distributing ranges over up to MaxProcs goroutines with
+// the same dynamic chunking as ForEach. It exists for bodies that amortise
+// per-worker state — pooled scratch, accumulators — over a whole range
+// instead of paying the pool round trip per index; the engine's iteration
+// loops fetch their aggregation scratch once per chunk through it.
+func ForEachChunk(n int, body func(start, end int)) {
+	if n <= 0 {
+		return
+	}
+	procs := MaxProcs
+	if procs > n {
+		procs = n
+	}
+	if procs <= 1 {
+		body(0, n)
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(procs)
+	chunk := n / (procs * 8)
+	if chunk < 1 {
+		chunk = 1
+	}
+	for p := 0; p < procs; p++ {
+		go func() {
+			defer wg.Done()
+			for {
+				start := int(next.Add(int64(chunk))) - chunk
+				if start >= n {
+					return
+				}
+				end := start + chunk
+				if end > n {
+					end = n
+				}
+				body(start, end)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // Reduce applies body(i) for i in [0, n) in parallel and combines the results
 // with merge, which must be associative. zero is the identity for merge.
 func Reduce[T any](n int, zero T, body func(i int) T, merge func(a, b T) T) T {

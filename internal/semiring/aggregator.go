@@ -46,17 +46,104 @@ type Aggregator[S, M any] interface {
 	Aggregate(sc *Scratch, self M, terms []Term[S, M]) M
 }
 
+// FilteredAggregator is the optional fused aggregate-then-filter fast path
+// of a semimodule. A filtered MBF-like iteration discards most of the merged
+// neighborhood immediately — a top-k projection keeps k entries of a merge
+// that produced many more — so allocating the full merge result only to
+// truncate it wastes allocation bytes and leaves the retained states
+// over-sized for the next iteration's reads. AggregateFiltered merges into
+// scratch-owned buffers, applies the filter there, and allocates only the
+// surviving entries: the per-node allocation is sized to the filtered
+// output, and state vectors stay cache-dense.
+type FilteredAggregator[S, M any] interface {
+	Aggregator[S, M]
+
+	// AggregateFiltered returns filter(self ⊕ ⊕_i terms[i].S ⊙ terms[i].X),
+	// or the plain aggregation when filter is nil. It must equal
+	// filter(Aggregate(sc, self, terms)) exactly. The filter is applied to a
+	// scratch-backed intermediate the module owns exclusively, so engines
+	// pass their in-place filter variant when they have one; the filter must
+	// not retain its argument. The result is freshly allocated, right-sized,
+	// and never aliases self, any term, sc, or the filter's argument.
+	AggregateFiltered(sc *Scratch, self M, terms []Term[S, M], filter Filter[M]) M
+}
+
+// BatchAggregator is the optional batched fast path of a semimodule: one
+// call aggregates B independent lanes — selfs[b] ⊕ ⊕_i terms[b][i] for every
+// lane b — over a single shared Scratch, so the merge buffers stay hot
+// across lanes. It backs the batched multi-source sweep (mbf.Runner's
+// IterateBatch/RunToFixpointBatch), where one pass over the CSR arcs
+// gathers every lane's terms at once.
+//
+// outs must have length len(selfs); outs[b] receives lane b's result, which
+// must equal Aggregate(sc, selfs[b], terms[b]) exactly and never alias an
+// input. Engines fall back to per-lane Aggregate (or the generic fold) when
+// a module does not implement it.
+type BatchAggregator[S, M any] interface {
+	Aggregator[S, M]
+	AggregateBatch(sc *Scratch, selfs []M, terms [][]Term[S, M], outs []M)
+}
+
 // Scratch holds the reusable buffers of Aggregate: the k-way-merge cursor
-// heap plus per-module list headers. A zero Scratch is ready to use; engines
-// keep one per worker (mbf.Runner recycles them through a sync.Pool) so
-// steady-state aggregation allocates nothing beyond the merged result.
+// heap, per-module list headers, and the reduction arenas of the SoA
+// distance-map kernel (distmerge.go). A zero Scratch is ready to use;
+// engines keep one per worker (mbf.Runner recycles them through a
+// sync.Pool) so steady-state aggregation allocates nothing beyond the
+// merged result.
 type Scratch struct {
 	pos    []int32
 	heap   []mergeCursor
 	shifts []float64
-	dist   []DistMap
 	width  []WidthMap
 	sets   [][]NodeID
+	// SoA distance-map kernel state: per-list ID/distance headers, the
+	// reduction-round group headers, and the two ping-pong arenas.
+	dIds    [][]NodeID
+	dDs     [][]float64
+	rIds    [][]NodeID
+	rDs     [][]float64
+	rShifts []float64
+	arenas  [2]mergeArena
+	// out is the scratch-owned merge output of the fused
+	// aggregate-then-filter path (AggregateFiltered).
+	out mergeArena
+}
+
+// mergeArena is one reduction-round output buffer of the SoA kernel.
+type mergeArena struct {
+	ids []NodeID
+	ds  []float64
+}
+
+// grow pre-sizes the k-way-merge buffers for k lists in one place, so a
+// fresh (or pool-recycled) Scratch does not re-grow pos/heap one append at
+// a time on its first large-degree node. Pinned by the allocs-per-op
+// regression test in distmerge_test.go.
+func (sc *Scratch) grow(k int) {
+	if cap(sc.pos) < k {
+		sc.pos = make([]int32, 0, k)
+		sc.heap = make([]mergeCursor, 0, k)
+	}
+}
+
+// growDist pre-sizes the SoA distance-map kernel buffers for k lists.
+func (sc *Scratch) growDist(k int) {
+	if cap(sc.dIds) < k {
+		sc.dIds = make([][]NodeID, 0, k)
+		sc.dDs = make([][]float64, 0, k)
+		sc.shifts = make([]float64, 0, k)
+	}
+	if k > 8 {
+		groups := (k + 7) / 8
+		if cap(sc.rIds) < groups {
+			sc.rIds = make([][]NodeID, 0, groups)
+			sc.rDs = make([][]float64, 0, groups)
+			sc.rShifts = make([]float64, 0, groups)
+		}
+		if k > heapMergeMinLists {
+			sc.grow(k)
+		}
+	}
 }
 
 // mergeCursor is one heap element of the k-way merge: the current node ID of
@@ -104,6 +191,7 @@ func siftDown(h []mergeCursor, i int) {
 // k ≤ 2 merges directly; larger k runs a 4-ary heap of cursors over sc,
 // costing O(N log₄ k) comparisons for N total entries.
 func mergeSorted[L ~[]E, E any](sc *Scratch, lists []L, node func(E) NodeID, visit func(li int32, e E, first bool)) {
+	sc.grow(len(lists))
 	switch len(lists) {
 	case 0:
 		return

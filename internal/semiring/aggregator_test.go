@@ -11,10 +11,10 @@ import (
 )
 
 func randDistMap(rng *rand.Rand, n int) DistMap {
-	var out DistMap
+	out := DistMap{}
 	for v := 0; v < n; v++ {
 		if rng.Intn(3) == 0 {
-			out = append(out, Entry{Node: NodeID(v), Dist: float64(rng.Intn(50)) / 2})
+			out = out.Append(NodeID(v), float64(rng.Intn(50))/2)
 		}
 	}
 	return out
@@ -167,10 +167,10 @@ func TestAggregateOwnershipFuzz(t *testing.T) {
 		}
 
 		out := mod.Aggregate(&sc, self, terms)
-		// Scribble over the result: inputs must not see it.
-		for i := range out {
-			out[i] = Entry{Node: out[i].Node, Dist: -1}
-		}
+		// Scribble over the result (legal: the caller owns it exclusively):
+		// inputs must not see it.
+		mod.SMulInPlace(1000, out)
+		out.SortFunc(func(a, b Entry) bool { return a.Node > b.Node })
 		if !mod.Equal(self, selfCopy) {
 			t.Fatalf("round %d: Aggregate (or mutating its result) changed self: %v != %v", round, self, selfCopy)
 		}
@@ -188,22 +188,28 @@ func TestAggregateOwnershipFuzz(t *testing.T) {
 // half asserts that the non-identity operations never write to their inputs.
 func TestDistMapSafeAliasing(t *testing.T) {
 	var mod DistMapModule
-	x := DistMap{{Node: 1, Dist: 2}, {Node: 5, Dist: 0.5}}
+	x := FromEntries(Entry{Node: 1, Dist: 2}, Entry{Node: 5, Dist: 0.5})
 
 	// s == 0 is the scalar identity: the input itself comes back.
 	y := mod.SMul(0, x)
-	if &y[0] != &x[0] {
+	if &y.ids[0] != &x.ids[0] || &y.ds[0] != &x.ds[0] {
 		t.Fatal("SMul(0, x) no longer aliases x; update the documented contract")
 	}
 	// Add with an empty side returns the other side aliased.
-	if z := mod.Add(nil, x); &z[0] != &x[0] {
+	if z := mod.Add(DistMap{}, x); &z.ids[0] != &x.ids[0] || &z.ds[0] != &x.ds[0] {
 		t.Fatal("Add(⊥, x) no longer aliases x; update the documented contract")
+	}
+	// SMul shares the input's ID array and pairs it with fresh distances.
+	if z := mod.SMul(3, x); &z.ids[0] != &x.ids[0] {
+		t.Fatal("SMul no longer shares the ID array; update the documented contract")
+	} else if &z.ds[0] == &x.ds[0] {
+		t.Fatal("SMul shares the distance array; shifting would corrupt x")
 	}
 
 	// Mutation detection: shifting, merging, and filtering leave x intact.
 	before := x.Clone()
 	_ = mod.SMul(3, x)
-	_ = mod.Add(x, DistMap{{Node: 0, Dist: 1}, {Node: 5, Dist: 0.25}})
+	_ = mod.Add(x, FromEntries(Entry{Node: 0, Dist: 1}, Entry{Node: 5, Dist: 0.25}))
 	_ = TopKFilter(1, Inf, nil)(x)
 	if !mod.Equal(x, before) {
 		t.Fatalf("algebra operation mutated its input: %v != %v", x, before)
@@ -212,12 +218,12 @@ func TestDistMapSafeAliasing(t *testing.T) {
 	// SMulInPlace is the explicit opt-out: it writes through x.
 	owned := x.Clone()
 	shifted := mod.SMulInPlace(2, owned)
-	if &shifted[0] != &owned[0] {
+	if &shifted.ds[0] != &owned.ds[0] {
 		t.Fatal("SMulInPlace allocated; it must reuse the caller's storage")
 	}
-	for i, e := range shifted {
-		if e.Dist != x[i].Dist+2 {
-			t.Fatalf("SMulInPlace entry %d = %v, want dist %v", i, e, x[i].Dist+2)
+	for i := 0; i < shifted.Len(); i++ {
+		if shifted.Dist(i) != x.Dist(i)+2 {
+			t.Fatalf("SMulInPlace entry %d = %v, want dist %v", i, shifted.Entry(i), x.Dist(i)+2)
 		}
 	}
 }

@@ -24,11 +24,11 @@ func genDist(r *rand.Rand) float64 {
 // genDistMap draws a valid sparse distance map.
 func genDistMap(r *rand.Rand) DistMap {
 	n := r.Intn(10)
-	m := make(DistMap, 0, n)
+	m := NewDistMap(n)
 	node := NodeID(0)
 	for i := 0; i < n; i++ {
 		node += NodeID(1 + r.Intn(5))
-		m = append(m, Entry{Node: node, Dist: float64(r.Intn(1000))})
+		m = m.Append(node, float64(r.Intn(1000)))
 	}
 	return m
 }
@@ -137,7 +137,7 @@ func TestQuickTopKFilterProperties(t *testing.T) {
 		if !mod.Equal(r(ra), ra) {
 			return false
 		}
-		if len(ra) > 4 {
+		if ra.Len() > 4 {
 			return false
 		}
 		return mod.Equal(r(mod.Add(a.M, b.M)), r(mod.Add(r(a.M), r(b.M))))

@@ -70,20 +70,25 @@ func TestMaxMinSelfModuleLaws(t *testing.T) {
 	}
 }
 
+// dm is the test shorthand for building DistMap values from entry literals
+// (FromEntries does not validate ordering, so Normalize tests may pass
+// unsorted entries through it deliberately).
+func dm(entries ...Entry) DistMap { return FromEntries(entries...) }
+
 func randomDistMap(rng *rand.Rand, maxNodes int) DistMap {
 	n := rng.Intn(maxNodes + 1)
-	m := make(DistMap, 0, n)
+	m := NewDistMap(n)
 	node := NodeID(0)
 	for i := 0; i < n; i++ {
 		node += NodeID(1 + rng.Intn(4))
-		m = append(m, Entry{Node: node, Dist: float64(rng.Intn(100))})
+		m = m.Append(node, float64(rng.Intn(100)))
 	}
 	return m
 }
 
 func TestDistMapModuleLaws(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
-	elems := []DistMap{nil}
+	elems := []DistMap{{}}
 	for i := 0; i < 8; i++ {
 		elems = append(elems, randomDistMap(rng, 6))
 	}
@@ -95,10 +100,10 @@ func TestDistMapModuleLaws(t *testing.T) {
 
 func TestDistMapAddKeepsMinimum(t *testing.T) {
 	mod := DistMapModule{}
-	x := DistMap{{1, 5}, {3, 2}}
-	y := DistMap{{1, 3}, {2, 7}}
+	x := dm(Entry{1, 5}, Entry{3, 2})
+	y := dm(Entry{1, 3}, Entry{2, 7})
 	got := mod.Add(x, y)
-	want := DistMap{{1, 3}, {2, 7}, {3, 2}}
+	want := dm(Entry{1, 3}, Entry{2, 7}, Entry{3, 2})
 	if !mod.Equal(got, want) {
 		t.Fatalf("Add = %v, want %v", got, want)
 	}
@@ -106,13 +111,13 @@ func TestDistMapAddKeepsMinimum(t *testing.T) {
 
 func TestDistMapSMul(t *testing.T) {
 	mod := DistMapModule{}
-	x := DistMap{{1, 5}, {3, 2}}
+	x := dm(Entry{1, 5}, Entry{3, 2})
 	got := mod.SMul(10, x)
-	want := DistMap{{1, 15}, {3, 12}}
+	want := dm(Entry{1, 15}, Entry{3, 12})
 	if !mod.Equal(got, want) {
 		t.Fatalf("SMul = %v, want %v", got, want)
 	}
-	if mod.SMul(Inf, x) != nil {
+	if mod.SMul(Inf, x).Len() != 0 {
 		t.Fatal("SMul(Inf, x) should be ⊥")
 	}
 	if got := mod.SMul(0, x); !mod.Equal(got, x) {
@@ -122,31 +127,33 @@ func TestDistMapSMul(t *testing.T) {
 
 func TestDistMapSMulDoesNotAliasInput(t *testing.T) {
 	mod := DistMapModule{}
-	x := DistMap{{1, 5}}
+	x := dm(Entry{1, 5})
 	y := mod.SMul(3, x)
-	y[0].Dist = 999
-	if x[0].Dist != 5 {
-		t.Fatal("SMul result aliases its input")
+	// The result shares x's ID array but carries fresh distances: writing
+	// them (legal here — the ds array is exclusively owned) must not reach x.
+	y.ds[0] = 999
+	if x.Dist(0) != 5 {
+		t.Fatal("SMul result aliases its input's distances")
 	}
 }
 
 func TestDistMapGet(t *testing.T) {
-	x := DistMap{{2, 5}, {7, 1}, {9, 4}}
+	x := dm(Entry{2, 5}, Entry{7, 1}, Entry{9, 4})
 	if got := x.Get(7); got != 1 {
 		t.Fatalf("Get(7) = %v, want 1", got)
 	}
 	if !IsInf(x.Get(3)) {
 		t.Fatal("Get(absent) should be Inf")
 	}
-	if !IsInf(DistMap(nil).Get(0)) {
-		t.Fatal("Get on nil map should be Inf")
+	if !IsInf((DistMap{}).Get(0)) {
+		t.Fatal("Get on the zero map should be Inf")
 	}
 }
 
 func TestDistMapNormalize(t *testing.T) {
-	x := DistMap{{5, 2}, {1, 9}, {5, 7}, {3, Inf}, {1, 4}}
+	x := dm(Entry{5, 2}, Entry{1, 9}, Entry{5, 7}, Entry{3, Inf}, Entry{1, 4})
 	got := Normalize(x)
-	want := DistMap{{1, 4}, {5, 2}}
+	want := dm(Entry{1, 4}, Entry{5, 2})
 	if !(DistMapModule{}).Equal(got, want) {
 		t.Fatalf("Normalize = %v, want %v", got, want)
 	}
@@ -177,11 +184,11 @@ func TestMergeMinMatchesFoldedAdd(t *testing.T) {
 
 func TestTopKFilterKeepsKSmallest(t *testing.T) {
 	r := TopKFilter(2, Inf, nil)
-	x := DistMap{{1, 9}, {2, 3}, {3, 5}, {4, 3}}
+	x := dm(Entry{1, 9}, Entry{2, 3}, Entry{3, 5}, Entry{4, 3})
 	got := r(x)
 	// Two smallest are (2,3) and (4,3); ties broken by node ID keep node 2
 	// then node 4.
-	want := DistMap{{2, 3}, {4, 3}}
+	want := dm(Entry{2, 3}, Entry{4, 3})
 	if !(DistMapModule{}).Equal(got, want) {
 		t.Fatalf("TopKFilter = %v, want %v", got, want)
 	}
@@ -190,9 +197,9 @@ func TestTopKFilterKeepsKSmallest(t *testing.T) {
 func TestTopKFilterMaxDistAndSources(t *testing.T) {
 	isSource := func(v NodeID) bool { return v%2 == 0 }
 	r := TopKFilter(10, 4, isSource)
-	x := DistMap{{1, 1}, {2, 3}, {3, 2}, {4, 9}}
+	x := dm(Entry{1, 1}, Entry{2, 3}, Entry{3, 2}, Entry{4, 9})
 	got := r(x)
-	want := DistMap{{2, 3}} // node 4 exceeds maxDist, odd nodes not sources
+	want := dm(Entry{2, 3}) // node 4 exceeds maxDist, odd nodes not sources
 	if !(DistMapModule{}).Equal(got, want) {
 		t.Fatalf("filter = %v, want %v", got, want)
 	}
@@ -200,7 +207,7 @@ func TestTopKFilterMaxDistAndSources(t *testing.T) {
 
 func TestTopKFilterIsCongruence(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
-	elems := []DistMap{nil}
+	elems := []DistMap{{}}
 	for i := 0; i < 10; i++ {
 		elems = append(elems, randomDistMap(rng, 8))
 	}
@@ -213,7 +220,7 @@ func TestTopKFilterIsCongruence(t *testing.T) {
 
 func TestIdentityFilter(t *testing.T) {
 	r := Identity[DistMap]()
-	x := DistMap{{1, 2}}
+	x := dm(Entry{1, 2})
 	if !(DistMapModule{}).Equal(r(x), x) {
 		t.Fatal("identity filter changed its input")
 	}

@@ -21,7 +21,7 @@ func BenchmarkOracleIterate(b *testing.B) {
 	filter := semiring.TopKFilter(8, semiring.Inf, nil)
 	x := make([]semiring.DistMap, g.N())
 	for v := range x {
-		x[v] = semiring.DistMap{{Node: graph.Node(v), Dist: 0}}
+		x[v] = semiring.SingletonDist(graph.Node(v), 0)
 	}
 	x = oracle.Run(x, filter, 1) // warm the states into their filtered shape
 	b.ReportAllocs()

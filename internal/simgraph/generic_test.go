@@ -19,7 +19,7 @@ func TestGenericOracleDistMapMatchesSpecialised(t *testing.T) {
 	h := Build(hs, 0, rng)
 	x0 := make([]semiring.DistMap, h.N())
 	for v := range x0 {
-		x0[v] = semiring.DistMap{{Node: graph.Node(v), Dist: 0}}
+		x0[v] = semiring.SingletonDist(graph.Node(v), 0)
 	}
 	filter := semiring.TopKFilter(4, semiring.Inf, nil)
 
@@ -111,7 +111,7 @@ func TestGenericOracleRunFixedIterations(t *testing.T) {
 		Weight: func(_, _ graph.Node, scaled float64) float64 { return scaled },
 	}
 	x0 := make([]semiring.DistMap, h.N())
-	x0[0] = semiring.DistMap{{Node: 0, Dist: 0}}
+	x0[0] = semiring.SingletonDist(0, 0)
 	out := gen.Run(x0, 2)
 	if len(out) != h.N() {
 		t.Fatal("wrong output length")

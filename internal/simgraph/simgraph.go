@@ -221,7 +221,7 @@ func (o *Oracle) iterate(x []semiring.DistMap, filter semiring.Filter[semiring.D
 				Graph:  gp,
 				Module: semiring.DistMapModule{},
 				Weight: func(_, _ graph.Node, w float64) float64 { return scale * w },
-				Size:   func(m semiring.DistMap) int { return len(m) + 1 },
+				Size:   func(m semiring.DistMap) int { return m.Len() + 1 },
 			}
 		}
 		o.runnersH = h
@@ -260,7 +260,7 @@ func (o *Oracle) iterate(x []semiring.DistMap, filter semiring.Filter[semiring.D
 		for lambda := 0; lambda <= h.Lambda; lambda++ {
 			terms = append(terms, semiring.Term[float64, semiring.DistMap]{X: perLevel[lambda][v]})
 		}
-		merged := agg.Aggregate(&st.sc, nil, terms)
+		merged := agg.Aggregate(&st.sc, semiring.DistMap{}, terms)
 		if o.FilterInPlace != nil {
 			out[v] = o.FilterInPlace(merged)
 		} else {

@@ -135,7 +135,7 @@ func TestOracleMatchesExplicitH(t *testing.T) {
 	oracle := NewOracle(h, nil)
 	x0 := make([]semiring.DistMap, n)
 	for v := range x0 {
-		x0[v] = semiring.DistMap{{Node: graph.Node(v), Dist: 0}}
+		x0[v] = semiring.SingletonDist(graph.Node(v), 0)
 	}
 	identity := semiring.Identity[semiring.DistMap]()
 	got, iters := oracle.RunToFixpoint(x0, identity, MaxIters(n))
@@ -164,27 +164,27 @@ func TestOracleWithFilterMatchesFilteredExact(t *testing.T) {
 	oracle := NewOracle(h, nil)
 	x0 := make([]semiring.DistMap, n)
 	for v := range x0 {
-		x0[v] = semiring.DistMap{{Node: graph.Node(v), Dist: 0}}
+		x0[v] = semiring.SingletonDist(graph.Node(v), 0)
 	}
 	got, _ := oracle.RunToFixpoint(x0, filter, MaxIters(n))
 
 	exactH := graph.APSPDijkstra(h.Materialize())
 	mod := semiring.DistMapModule{}
 	for v := 0; v < n; v++ {
-		full := make(semiring.DistMap, 0, n)
+		full := semiring.NewDistMap(n)
 		for w := 0; w < n; w++ {
 			if !semiring.IsInf(exactH.At(v, w)) {
-				full = append(full, semiring.Entry{Node: graph.Node(w), Dist: exactH.At(v, w)})
+				full = full.Append(graph.Node(w), exactH.At(v, w))
 			}
 		}
 		want := filter(full)
 		// Compare allowing float slack: entries must agree in node set and
 		// distances up to 1e-9.
-		if len(want) != len(got[v]) {
+		if want.Len() != got[v].Len() {
 			t.Fatalf("node %d: %v vs %v", v, got[v], want)
 		}
-		for i := range want {
-			if want[i].Node != got[v][i].Node || math.Abs(want[i].Dist-got[v][i].Dist) > 1e-9 {
+		for i := 0; i < want.Len(); i++ {
+			if want.Node(i) != got[v].Node(i) || math.Abs(want.Dist(i)-got[v].Dist(i)) > 1e-9 {
 				t.Fatalf("node %d: %v vs %v", v, got[v], want)
 			}
 		}
@@ -198,7 +198,7 @@ func TestOracleTracksWork(t *testing.T) {
 	oracle := NewOracle(h, tr)
 	x0 := make([]semiring.DistMap, h.N())
 	for v := range x0 {
-		x0[v] = semiring.DistMap{{Node: graph.Node(v), Dist: 0}}
+		x0[v] = semiring.SingletonDist(graph.Node(v), 0)
 	}
 	oracle.Run(x0, semiring.TopKFilter(2, semiring.Inf, nil), 2)
 	if tr.Work() == 0 || tr.Depth() == 0 {

@@ -105,7 +105,7 @@ func TestQuickOracleSingleSourceMatchesExplicitH(t *testing.T) {
 		h := Build(hs, 0, rng)
 		oracle := NewOracle(h, nil)
 		x0 := make([]distMap, h.N())
-		x0[0] = distMap{{Node: 0, Dist: 0}}
+		x0[0] = semiring.SingletonDist(0, 0)
 		identity := identityFilter()
 		got, _ := oracle.RunToFixpoint(x0, identity, MaxIters(h.N()))
 		exact := graph.Dijkstra(h.Materialize(), 0)

@@ -19,8 +19,8 @@ func TestZooKClosest(t *testing.T) {
 	g := RandomConnected(40, 100, 6, NewRNG(1))
 	res := KClosest(g, 3)
 	for v, list := range res {
-		if len(list) != 3 {
-			t.Fatalf("node %d keeps %d entries", v, len(list))
+		if list.Len() != 3 {
+			t.Fatalf("node %d keeps %d entries", v, list.Len())
 		}
 		if list.Get(Node(v)) != 0 {
 			t.Fatalf("node %d missing itself", v)
@@ -75,10 +75,10 @@ func TestZooSourceDetection(t *testing.T) {
 	g := PathGraph(6, 1)
 	res := SourceDetection(g, []Node{0, 5}, 6, Inf, 1)
 	// Each node keeps only its closest source.
-	if res[1].Get(0) != 1 || len(res[1]) != 1 {
+	if res[1].Get(0) != 1 || res[1].Len() != 1 {
 		t.Fatalf("node 1: %v", res[1])
 	}
-	if res[4].Get(5) != 1 || len(res[4]) != 1 {
+	if res[4].Get(5) != 1 || res[4].Len() != 1 {
 		t.Fatalf("node 4: %v", res[4])
 	}
 }
