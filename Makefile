@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet fmt-check test test-short test-race fuzz-short cover bench bench-ensemble bench-graph bench-mbf bench-semiring bench-oracle bench-gate profile-mbf ci
+.PHONY: build vet fmt-check test test-short test-race fuzz-short cover bench bench-ensemble bench-graph bench-mbf bench-semiring bench-oracle bench-scale bench-gate bench-scale-gate scale-smoke profile-mbf ci
 
 build:
 	$(GO) build ./...
@@ -21,8 +21,10 @@ test-short:
 
 ## Race tier: the packages with internal parallelism, under the race detector
 ## (cmd/parmbfd exercises the router fan-out and fault-injection paths).
+## -timeout caps a wedged parallel test (a deadlocked worker pool would
+## otherwise hold the CI job for the default 10 minutes per package).
 test-race:
-	$(GO) test -short -race . ./cmd/parmbfd/ ./internal/frt/... ./internal/graph/... ./internal/mbf/... ./internal/par/... ./internal/semiring/... ./internal/simgraph/...
+	$(GO) test -short -race -timeout 5m . ./cmd/parmbfd/ ./internal/frt/... ./internal/graph/... ./internal/mbf/... ./internal/par/... ./internal/semiring/... ./internal/simgraph/...
 
 ## Brief fuzz tier: every fuzz target runs for a few seconds (CI smoke; for
 ## a real fuzzing session raise -fuzztime). -fuzz takes one target per
@@ -30,11 +32,13 @@ test-race:
 fuzz-short:
 	$(GO) test ./internal/frt/ -run xxx -fuzz FuzzReadTree -fuzztime 10s
 	$(GO) test ./internal/frt/ -run xxx -fuzz FuzzReadSnapshot -fuzztime 10s
+	$(GO) test ./internal/graph/ -run xxx -fuzz FuzzReadDIMACS -fuzztime 10s
 
 ## Coverage floor: the short tier under -coverprofile must not drop below
-## COVER_MIN, the total measured at the PR-7 branch point. Raise the pin
-## when coverage grows; never lower it to make a PR pass.
-COVER_MIN ?= 81.2
+## COVER_MIN, measured at the scale-tier branch point (82.0% with a 0.2pt
+## allowance for run-to-run jitter). Raise the pin when coverage grows;
+## never lower it to make a PR pass.
+COVER_MIN ?= 81.8
 cover:
 	$(GO) test -short -covermode=atomic -coverprofile=coverage.out ./...
 	@total=$$($(GO) tool cover -func=coverage.out | tail -n 1 | awk '{print $$3}' | tr -d '%'); \
@@ -100,6 +104,36 @@ bench-oracle:
 		--arg commit "$$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
 		'{date: $$date, commit: $$commit, bench: .}' >> BENCH_oracle.json
 
+## Million-node scale tier: generators, the Freeze serial-vs-parallel A/B
+## pair, LE lists, and tree assembly at n = 2^16 and (via PARMBF_SCALE=1)
+## 2^20, plus the K=2 end-to-end embedder draw at 2^16. Appends one entry to
+## BENCH_graph.json and one to BENCH_mbf.json — the same trajectories as the
+## core tier; benchgate's entry selection keeps the two suites' baselines
+## apart. -benchtime 1x: one timed run per point, so the 2^20 sweep finishes
+## in minutes; trends come from the trajectory, not per-run statistics.
+bench-scale:
+	@out="$$(PARMBF_SCALE=1 $(GO) test ./internal/graph/ -run xxx -bench 'ScaleChungLu|ScaleGridOfCliques|ScaleFreeze' -benchtime 1x -benchmem -timeout 60m)" \
+		|| { echo "$$out"; echo "bench-scale: go test failed"; exit 1; }; \
+	echo "$$out"; \
+	echo "$$out" | grep '^Benchmark' | jq -R . | jq -sc \
+		--arg date "$$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+		--arg commit "$$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+		'{date: $$date, commit: $$commit, bench: .}' >> BENCH_graph.json
+	@out="$$(PARMBF_SCALE=1 $(GO) test ./internal/frt/ -run xxx -bench 'ScaleLELists|ScaleBuildTree|ScaleEmbedderSample' -benchtime 1x -benchmem -timeout 60m)" \
+		|| { echo "$$out"; echo "bench-scale: go test failed"; exit 1; }; \
+	echo "$$out"; \
+	echo "$$out" | grep '^Benchmark' | jq -R . | jq -sc \
+		--arg date "$$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+		--arg commit "$$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+		'{date: $$date, commit: $$commit, bench: .}' >> BENCH_mbf.json
+
+## PR-blocking end-to-end smoke at 2^16: power-law graph through a K=2
+## ensemble draw and the oracle index, with dominance and determinism
+## spot-checks (see TestScaleSmoke). The -timeout is the wall-clock budget;
+## the CI job adds its own timeout-minutes on top.
+scale-smoke:
+	PARMBF_SCALE_SMOKE=1 $(GO) test ./internal/frt/ -run 'TestScaleSmoke$$' -v -timeout 40m
+
 ## Regression gate: compares the freshest BENCH_*.json entry against the
 ## previous one (in CI: this run vs the committed baseline) and fails on a
 ## >20% ns/op regression in the gated hot paths.
@@ -108,6 +142,14 @@ bench-gate:
 	$(GO) run ./cmd/benchgate -file BENCH_mbf.json -match 'Iterate4096|SourceDetection4096|SourceDetectionBatch8' -max 1.20
 	$(GO) run ./cmd/benchgate -file BENCH_oracle.json -match 'OracleIndexMinBatch4096|SnapshotLoad4096|FleetBatch1024' -max 1.20
 	$(GO) run ./cmd/benchgate -file BENCH_semiring.json -match 'MergeKernel/' -max 1.20
+
+## Scale-tier gate: wider ns/op budget (single 1x runs are noisier than the
+## averaged core tier) plus a B/op ceiling — at 10^6 nodes a 15% allocation
+## regression is ~100 MB, so memory is gated here even though the core tier
+## gates only time.
+bench-scale-gate:
+	$(GO) run ./cmd/benchgate -file BENCH_graph.json -match 'ScaleChungLu|ScaleFreeze' -max 1.30 -maxbytes 1.15
+	$(GO) run ./cmd/benchgate -file BENCH_mbf.json -match 'ScaleLELists|ScaleEmbedderSample' -max 1.30 -maxbytes 1.15
 
 bench:
 	$(GO) test -bench . -benchmem ./...

@@ -16,36 +16,36 @@ func TestParseBenchLines(t *testing.T) {
 		"BenchmarkSub/trees=4-16      \t      10\t 158000000 ns/op",
 	}
 	got := parseBenchLines(lines)
-	want := map[string]float64{
-		"BenchmarkIterate4096":  33650869,
-		"BenchmarkDijkstra4096": 1144411,
-		"BenchmarkSub/trees=4":  158000000,
+	want := map[string]result{
+		"BenchmarkIterate4096":  {Ns: 33650869, Bytes: 4857426},
+		"BenchmarkDijkstra4096": {Ns: 1144411, Bytes: 147536},
+		"BenchmarkSub/trees=4":  {Ns: 158000000, Bytes: -1}, // no -benchmem column
 	}
 	if len(got) != len(want) {
 		t.Fatalf("parsed %d benchmarks, want %d: %v", len(got), len(want), got)
 	}
-	for name, ns := range want {
-		if got[name] != ns {
-			t.Errorf("%s = %v, want %v", name, got[name], ns)
+	for name, r := range want {
+		if got[name] != r {
+			t.Errorf("%s = %+v, want %+v", name, got[name], r)
 		}
 	}
 }
 
 func TestGate(t *testing.T) {
-	base := map[string]float64{
-		"BenchmarkIterate4096":  100,
-		"BenchmarkDijkstra4096": 200,
-		"BenchmarkRemoved":      50,
-		"BenchmarkUnrelated":    10,
+	base := map[string]result{
+		"BenchmarkIterate4096":  {Ns: 100, Bytes: -1},
+		"BenchmarkDijkstra4096": {Ns: 200, Bytes: -1},
+		"BenchmarkRemoved":      {Ns: 50, Bytes: -1},
+		"BenchmarkUnrelated":    {Ns: 10, Bytes: -1},
 	}
-	cur := map[string]float64{
-		"BenchmarkIterate4096":  115, // +15%: within the 20% budget
-		"BenchmarkDijkstra4096": 260, // +30%: regressed
-		"BenchmarkNew":          42,
-		"BenchmarkUnrelated":    1000, // regressed but not matched
+	cur := map[string]result{
+		"BenchmarkIterate4096":  {Ns: 115, Bytes: -1}, // +15%: within the 20% budget
+		"BenchmarkDijkstra4096": {Ns: 260, Bytes: -1}, // +30%: regressed
+		"BenchmarkNew":          {Ns: 42, Bytes: -1},
+		"BenchmarkUnrelated":    {Ns: 1000, Bytes: -1}, // regressed but not matched
 	}
 	match := regexp.MustCompile(`Iterate|Dijkstra|Removed|New`)
-	report, failed := gate(base, cur, match, 1.20)
+	report, failed := gate(base, cur, match, 1.20, 0)
 	if len(failed) != 1 || failed[0] != "BenchmarkDijkstra4096" {
 		t.Fatalf("failed = %v, want only BenchmarkDijkstra4096", failed)
 	}
@@ -57,6 +57,68 @@ func TestGate(t *testing.T) {
 	}
 	if strings.Contains(joined, "Unrelated") {
 		t.Errorf("report includes unmatched benchmark:\n%s", joined)
+	}
+}
+
+func TestGateBytes(t *testing.T) {
+	base := map[string]result{
+		"BenchmarkA": {Ns: 100, Bytes: 1000},
+		"BenchmarkB": {Ns: 100, Bytes: 1000},
+		"BenchmarkC": {Ns: 100, Bytes: -1}, // baseline run without -benchmem
+	}
+	cur := map[string]result{
+		"BenchmarkA": {Ns: 105, Bytes: 1500}, // ns fine, B/op +50%: regressed
+		"BenchmarkB": {Ns: 105, Bytes: 1050}, // both within budget
+		"BenchmarkC": {Ns: 105, Bytes: 9999}, // no baseline bytes: ns-only gating
+	}
+	match := regexp.MustCompile(`.`)
+	report, failed := gate(base, cur, match, 1.20, 1.10)
+	if len(failed) != 1 || failed[0] != "BenchmarkA" {
+		t.Fatalf("failed = %v, want only BenchmarkA", failed)
+	}
+	joined := strings.Join(report, "\n")
+	if !strings.Contains(joined, "REGRESSED[B/op]") {
+		t.Errorf("report missing B/op regression marker:\n%s", joined)
+	}
+	// With -maxbytes off the same inputs must pass.
+	if _, failed := gate(base, cur, match, 1.20, 0); len(failed) != 0 {
+		t.Fatalf("maxbytes=0 still failed: %v", failed)
+	}
+	// A benchmark can regress on both axes but must be reported once.
+	cur["BenchmarkA"] = result{Ns: 500, Bytes: 9000}
+	_, failed = gate(base, cur, match, 1.20, 1.10)
+	n := 0
+	for _, f := range failed {
+		if f == "BenchmarkA" {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("BenchmarkA reported %d times in %v, want once", n, failed)
+	}
+}
+
+func TestSelectEntries(t *testing.T) {
+	recs := []record{
+		{Commit: "core1", Bench: []string{"BenchmarkIterate \t 10\t 100 ns/op"}},
+		{Commit: "scale1", Bench: []string{"BenchmarkScaleFreeze/n=65536 \t 1\t 900 ns/op"}},
+		{Commit: "core2", Bench: []string{"BenchmarkIterate \t 10\t 105 ns/op"}},
+		{Commit: "scale2", Bench: []string{"BenchmarkScaleFreeze/n=65536 \t 1\t 910 ns/op"}},
+		{Commit: "junk", Bench: []string{"ok \tparmbf\t1.0s"}},
+	}
+	base, cur, ok := selectEntries(recs, regexp.MustCompile(`ScaleFreeze`))
+	if !ok || base.Commit != "scale1" || cur.Commit != "scale2" {
+		t.Fatalf("scale selection = %s/%s ok=%v, want scale1/scale2", base.Commit, cur.Commit, ok)
+	}
+	base, cur, ok = selectEntries(recs, regexp.MustCompile(`Iterate`))
+	if !ok || base.Commit != "core1" || cur.Commit != "core2" {
+		t.Fatalf("core selection = %s/%s ok=%v, want core1/core2", base.Commit, cur.Commit, ok)
+	}
+	if _, _, ok := selectEntries(recs, regexp.MustCompile(`NoSuch`)); ok {
+		t.Fatal("selection with no matching entries must report !ok")
+	}
+	if _, _, ok := selectEntries(recs[:2], regexp.MustCompile(`ScaleFreeze`)); ok {
+		t.Fatal("a single matching entry is not enough for a comparison")
 	}
 }
 

@@ -155,7 +155,8 @@ type OracleIndex struct {
 	stride int
 	// anc[(v*k+t)*stride + h] is the height-h ancestor of v's leaf in tree
 	// t; heights past tree t's depth repeat its root. Built only when the
-	// packed representation is unavailable (n > 65536).
+	// packed representation is disabled (test knob / external callers that
+	// want the plain rows).
 	anc []int32
 	// pw mirrors anc with the prefix weight from the leaf up to height h.
 	// Built only when the shared level-weight table is unavailable.
@@ -169,22 +170,37 @@ type OracleIndex struct {
 	// Nil when any tree has non-uniform level weights (possible for trees
 	// deserialised from elsewhere); queries then read the per-leaf pw.
 	pwShared []float64
-	// packed is the fast merge-height representation, built whenever
-	// n ≤ 65536: ancestors are renumbered into per-height dense cluster ids
-	// (equality-preserving, < n, so they fit uint16) and packed four
-	// heights per uint64 word — packed[(v*k+t)*words + h/4], lane h%4. The
-	// merge height of a pair in one tree is then a top-down scan of
-	// XOR-compared words plus one leading-zero count: O(depth/4) word ops,
+	// packed is the fast merge-height representation: ancestors are
+	// renumbered into per-height dense cluster ids (equality-preserving, so
+	// XOR comparisons find the merge height) and packed into uint64 words.
+	// The heights split by lane width at `split`: heights ≥ split have at
+	// most 65536 distinct clusters in every tree, so their ids pack four
+	// 16-bit lanes per word into packed — packed[(v*k+t)*words + (h-split)/4],
+	// lane (h-split)%4 — while the low heights 0…split-1 (where cluster
+	// counts can approach n) pack two 32-bit lanes per word into packedLo.
+	// Cluster counts only shrink going up (clusters merge), so one split
+	// serves every tree, and for n ≤ 65536 the split is 0: the whole row is
+	// 16-bit lanes and packedLo is empty. The merge height of a pair in one
+	// tree is a top-down scan of XOR-compared words — high row first, then
+	// the low row — plus one leading-zero count: O(depth/4) word ops,
 	// typically 2–3, instead of a pointer walk or a lane-wise search.
 	packed []uint64
-	// words is the padded word count per (node, tree) row: ceil(stride/4).
+	// packedLo holds the 32-bit lanes of heights < split (nil when split=0).
+	packedLo []uint64
+	// split is the first height whose cluster ids fit 16-bit lanes.
+	split int
+	// words is the padded word count per (node, tree) high row:
+	// ceil((stride-split)/4).
 	words int
-	med   par.Pool[*[]float64]
+	// loWords is the word count per (node, tree) low row: ceil(split/2).
+	loWords int
+	med     par.Pool[*[]float64]
 }
 
-// packedMaxNodes bounds the graphs served by the packed-word kernel: dense
-// per-height cluster ids must fit uint16.
-const packedMaxNodes = 1 << 16
+// packedLaneMax is the largest per-height cluster count a 16-bit lane can
+// hold; heights with more clusters in some tree fall below the split and
+// use 32-bit lanes.
+const packedLaneMax = 1 << 16
 
 // NewOracleIndex indexes every tree of the ensemble. All trees must embed
 // the same node set.
@@ -194,158 +210,319 @@ func NewOracleIndex(trees []*Tree) (*OracleIndex, error) {
 
 // newOracleIndex is the constructor with kernel-selection knobs, used by
 // tests to force the fallback kernels that NewOracleIndex would not build
-// on small level-uniform ensembles.
+// on level-uniform ensembles.
 //
-// Each representation is materialised only if its kernel is selected: the
-// per-tree TreeIndexes are construction scratch (queries never reach them,
-// so a long-lived server does not pay K redundant tables), and the
-// repacked int32/float64 fallback tables are skipped entirely when the
-// packed words and the shared level-weight table supersede them — for the
-// common case (BuildTree trees, n ≤ 65536) the resident index is the
-// packed words plus one k·stride float table.
+// Construction streams over the trees one at a time: each tree's TreeIndex
+// is built, scattered into the selected resident tables, and dropped
+// before the next tree is touched, so the construction peak holds one
+// n·stride index instead of K of them — at n = 2^20 and K = 16 the
+// difference between ~0.3 GB and ~5 GB of scratch. Each representation is
+// materialised only if its kernel is selected: the repacked int32/float64
+// fallback tables are skipped entirely when the packed words and the
+// shared level-weight table supersede them — for the common case
+// (BuildTree trees) the resident index is the packed words plus one
+// k·stride float table.
 func newOracleIndex(trees []*Tree, disablePacked, disableShared bool) (*OracleIndex, error) {
 	if len(trees) == 0 {
 		return nil, fmt.Errorf("frt: oracle index needs ≥ 1 tree")
 	}
 	o := &OracleIndex{n: len(trees[0].Leaf), k: len(trees), depths: make([]int, len(trees))}
 	o.med.New = func() *[]float64 { ds := make([]float64, o.k); return &ds }
-	xs := make([]*TreeIndex, len(trees))
+	// Cheap pre-pass: per-tree depths (for the padded stride) and per-height
+	// cluster-count bounds (for the 16/32-bit lane split), both derivable
+	// from the parent arrays alone — no TreeIndex needed. Structural defects
+	// are NOT diagnosed here; the streaming loop's NewTreeIndex reports them
+	// with the same wording as before.
 	maxDepth := 0
 	for i, t := range trees {
 		if len(t.Leaf) != o.n {
 			return nil, fmt.Errorf("frt: tree %d embeds %d nodes, tree 0 embeds %d", i, len(t.Leaf), o.n)
 		}
+		d, ok := leafDepth(t)
+		if !ok {
+			return nil, fmt.Errorf("frt: tree %d: %w", i, fmt.Errorf("frt: broken parent chain at leaf 0 (run Validate for details)"))
+		}
+		o.depths[i] = d
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	o.stride = maxDepth + 1
+	// split = lowest height whose cluster count fits a 16-bit lane in every
+	// tree. Distinct height-h ancestors of the n leaves number at most
+	// min(n, nodes at the matching tree level), so for n ≤ 65536 the split
+	// is always 0 (pure 16-bit rows, the historical layout).
+	o.split = 0
+	if !disablePacked {
+		if o.n > packedLaneMax {
+			bound := make([]int, o.stride)
+			for i, t := range trees {
+				counts := treeLevelCounts(t, o.depths[i])
+				for h := 0; h < o.stride; h++ {
+					c := o.n
+					if counts != nil && h <= o.depths[i] && int(counts[h]) < c {
+						c = int(counts[h])
+					} else if counts != nil && h > o.depths[i] {
+						c = 1 // padded heights repeat the root
+					}
+					if c > bound[h] {
+						bound[h] = c
+					}
+				}
+			}
+			for h := o.stride - 1; h >= 0; h-- {
+				if bound[h] > packedLaneMax {
+					o.split = h + 1
+					break
+				}
+			}
+		}
+		o.words = (o.stride - o.split + 3) / 4
+		o.loWords = (o.split + 1) / 2
+		o.packed = make([]uint64, o.n*o.k*o.words)
+		if o.loWords > 0 {
+			o.packedLo = make([]uint64, o.n*o.k*o.loWords)
+		}
+	}
+	needPw := disableShared
+	shared := make([]float64, o.k*o.stride)
+	uniform := !disableShared
+	if disablePacked {
+		o.anc = make([]int32, o.n*o.k*o.stride)
+	}
+	// Streaming pass: index one tree, scatter it, drop it.
+	for i, t := range trees {
 		x, err := NewTreeIndex(t)
 		if err != nil {
 			return nil, fmt.Errorf("frt: tree %d: %w", i, err)
 		}
-		xs[i] = x
-		o.depths[i] = x.depth
-		if x.depth > maxDepth {
-			maxDepth = x.depth
+		if o.packed != nil {
+			o.packTree(x, i)
+		}
+		if o.anc != nil {
+			o.scatterAnc(x, i)
+		}
+		if uniform {
+			row := shared[i*o.stride : (i+1)*o.stride]
+			copy(row, x.pw[:x.stride]) // leaf 0's row
+			for h := x.stride; h < o.stride; h++ {
+				row[h] = x.pw[x.depth] // pad with the full leaf-to-root weight
+			}
+			if !o.uniformWeights(x, row) {
+				// A non-uniform tree (deserialised from elsewhere) voids the
+				// shared table; switch to per-leaf weights, back-filling the
+				// already-dropped earlier trees below.
+				uniform = false
+				needPw = true
+			}
+		}
+		if needPw {
+			if o.pw == nil {
+				o.pw = make([]float64, o.n*o.k*o.stride)
+			}
+			o.scatterPw(x, i)
 		}
 	}
-	o.stride = maxDepth + 1
-	if o.n <= packedMaxNodes && !disablePacked {
-		o.buildPacked(xs)
-	}
-	if !disableShared {
-		o.buildSharedWeights(xs)
-	}
-	if o.packed == nil {
-		o.buildAnc(xs)
-	}
-	if o.pwShared == nil {
-		o.buildPw(xs)
+	if uniform {
+		o.pwShared = shared
+	} else if o.pw != nil {
+		// Back-fill the trees streamed before non-uniformity was detected
+		// (their indexes are gone). This re-indexes a prefix of the ensemble
+		// — the rare path, taken only for non-BuildTree ensembles.
+		for i := range trees {
+			if !o.pwFilled(i) {
+				x, err := NewTreeIndex(trees[i])
+				if err != nil {
+					return nil, fmt.Errorf("frt: tree %d: %w", i, err)
+				}
+				o.scatterPw(x, i)
+			}
+		}
 	}
 	return o, nil
 }
 
-// buildAnc repacks the per-tree int32 ancestor rows into per-node blocks —
-// the merge-height fallback for n > 65536. Padding repeats the root: the
-// padded heights stay equal across any two nodes, so the merge-height
-// search is unchanged.
-func (o *OracleIndex) buildAnc(xs []*TreeIndex) {
-	o.anc = make([]int32, o.n*o.k*o.stride)
-	par.ForEach(o.n, func(v int) {
-		for t, x := range xs {
-			dst := (v*o.k + t) * o.stride
-			src := v * x.stride
-			copy(o.anc[dst:dst+x.stride], x.anc[src:src+x.stride])
-			root := x.anc[src+x.depth]
-			for h := x.stride; h < o.stride; h++ {
-				o.anc[dst+h] = root
-			}
+// leafDepth measures the parent-chain length of Leaf[0] with explicit
+// bounds and cycle guards, reporting failure instead of diverging on a
+// broken tree.
+func leafDepth(t *Tree) (int, bool) {
+	if len(t.Leaf) == 0 || t.NumNodes() == 0 || len(t.EdgeWeight) < t.NumNodes() {
+		return 0, false
+	}
+	depth := 0
+	for u := t.Leaf[0]; ; depth++ {
+		if u < 0 || int(u) >= t.NumNodes() || depth > t.NumNodes() {
+			return 0, false
 		}
-	})
+		if t.Parent[u] == -1 {
+			return depth, true
+		}
+		u = t.Parent[u]
+	}
 }
 
-// buildPw repacks the per-leaf prefix weights into per-node blocks — the
-// distance lookup for trees with non-uniform level weights.
-func (o *OracleIndex) buildPw(xs []*TreeIndex) {
-	o.pw = make([]float64, o.n*o.k*o.stride)
-	par.ForEach(o.n, func(v int) {
-		for t, x := range xs {
-			dst := (v*o.k + t) * o.stride
-			src := v * x.stride
-			copy(o.pw[dst:dst+x.stride], x.pw[src:src+x.stride])
-			top := x.pw[src+x.depth]
-			for h := x.stride; h < o.stride; h++ {
-				o.pw[dst+h] = top
-			}
+// treeLevelCounts returns the number of tree nodes at each height (distance
+// below depth), an upper bound on the distinct height-h ancestors the
+// packed renumbering can produce. It returns nil on structurally suspect
+// trees (cycles, dangling parents, nodes deeper than the leaves); the
+// caller then falls back to the conservative bound n and the streaming
+// loop's validation reports the defect.
+func treeLevelCounts(t *Tree, depth int) []int32 {
+	nn := t.NumNodes()
+	d := make([]int32, nn) // depth from the root; -1 = unknown
+	for i := range d {
+		d[i] = -1
+	}
+	counts := make([]int32, depth+1)
+	stack := make([]int32, 0, 64)
+	for u := 0; u < nn; u++ {
+		if d[u] != -1 {
+			continue
 		}
-	})
-}
-
-// buildSharedWeights detects level-uniform prefix weights (see pwShared):
-// if every leaf's pw row is bitwise identical to leaf 0's in every tree,
-// queries can answer from the k·stride-entry shared table.
-func (o *OracleIndex) buildSharedWeights(xs []*TreeIndex) {
-	shared := make([]float64, o.k*o.stride)
-	for t, x := range xs {
-		row := shared[t*o.stride : (t+1)*o.stride]
-		copy(row, x.pw[:x.stride]) // leaf 0's row
-		for h := x.stride; h < o.stride; h++ {
-			row[h] = x.pw[x.depth] // pad with the full leaf-to-root weight
+		stack = stack[:0]
+		v := int32(u)
+		for d[v] == -1 {
+			stack = append(stack, v)
+			if len(stack) > nn {
+				return nil // parent cycle
+			}
+			p := t.Parent[v]
+			if p == -1 {
+				break
+			}
+			if p < 0 || int(p) >= nn {
+				return nil
+			}
+			v = p
+		}
+		base := int32(-1) // unwinding starts at the root (depth 0)
+		if d[v] != -1 {
+			base = d[v] // unwinding starts below an already-resolved node
+		}
+		for i := len(stack) - 1; i >= 0; i-- {
+			base++
+			d[stack[i]] = base
 		}
 	}
-	uniform := par.Reduce(o.n, true,
+	for u := 0; u < nn; u++ {
+		h := int32(depth) - d[u]
+		if h < 0 {
+			return nil // deeper than the leaves: invalid FRT tree
+		}
+		counts[h]++
+	}
+	return counts
+}
+
+// scatterAnc repacks one tree's int32 ancestor rows into the per-node
+// blocks of the binary-search fallback kernel. Padding repeats the root:
+// the padded heights stay equal across any two nodes, so the merge-height
+// search is unchanged.
+func (o *OracleIndex) scatterAnc(x *TreeIndex, t int) {
+	par.ForEach(o.n, func(v int) {
+		dst := (v*o.k + t) * o.stride
+		src := v * x.stride
+		copy(o.anc[dst:dst+x.stride], x.anc[src:src+x.stride])
+		root := x.anc[src+x.depth]
+		for h := x.stride; h < o.stride; h++ {
+			o.anc[dst+h] = root
+		}
+	})
+}
+
+// scatterPw repacks one tree's per-leaf prefix weights into the per-node
+// blocks — the distance lookup for trees with non-uniform level weights.
+func (o *OracleIndex) scatterPw(x *TreeIndex, t int) {
+	par.ForEach(o.n, func(v int) {
+		dst := (v*o.k + t) * o.stride
+		src := v * x.stride
+		copy(o.pw[dst:dst+x.stride], x.pw[src:src+x.stride])
+		top := x.pw[src+x.depth]
+		for h := x.stride; h < o.stride; h++ {
+			o.pw[dst+h] = top
+		}
+	})
+}
+
+// pwFilled reports whether tree t's pw rows were already scattered (every
+// prefix-weight row starts at 0 and is non-decreasing with positive edge
+// weights, so a still-zero final entry at some leaf means "not filled" —
+// except for the degenerate single-node tree, which scatters zeros anyway
+// and is idempotent to re-scatter).
+func (o *OracleIndex) pwFilled(t int) bool {
+	return o.pw[(0*o.k+t)*o.stride+o.stride-1] != 0
+}
+
+// uniformWeights reports whether every leaf's prefix-weight row in x
+// matches the shared row (leaf 0's, padded) bitwise.
+func (o *OracleIndex) uniformWeights(x *TreeIndex, row []float64) bool {
+	return par.Reduce(o.n, true,
 		func(v int) bool {
-			for t, x := range xs {
-				base := shared[t*o.stride:]
-				row := x.pw[v*x.stride : (v+1)*x.stride]
-				for h, w := range row {
-					if base[h] != w {
-						return false
-					}
+			for h, w := range x.pw[v*x.stride : (v+1)*x.stride] {
+				if row[h] != w {
+					return false
 				}
 			}
 			return true
 		},
 		func(a, b bool) bool { return a && b })
-	if uniform {
-		o.pwShared = shared
-	}
 }
 
-// buildPacked renumbers each tree's per-height clusters into dense uint16
-// ids and packs them four heights per word (see the packed field doc).
-// Renumbering is equality-preserving per (tree, height), which is all the
-// merge-height scan compares, and the padded lanes repeat the root id so
-// padding never manufactures a difference.
-func (o *OracleIndex) buildPacked(xs []*TreeIndex) {
-	o.words = (o.stride + 3) / 4
-	o.packed = make([]uint64, o.n*o.k*o.words)
-	par.ForEach(o.k, func(t int) {
-		x := xs[t]
-		// First-seen dense renumbering per height, stamped so the scratch
-		// is reused across heights without clearing.
-		id := make([]uint16, x.tree.NumNodes())
-		stamp := make([]int32, x.tree.NumNodes())
+// packTree renumbers one tree's per-height clusters into dense ids and
+// packs them into the split-lane words (see the packed field doc).
+// Renumbering is equality-preserving per (tree, height) — first-seen order
+// over v = 0…n−1, independent of parallel width — which is all the
+// merge-height scan compares. High-row lanes past the tree's depth repeat
+// the root id, and low-row padding lanes stay zero, so padding never
+// manufactures a difference. Parallelism is per word column: each column
+// owns disjoint output words, renumbering its 2 or 4 heights with private
+// scratch.
+func (o *OracleIndex) packTree(x *TreeIndex, t int) {
+	nn := x.tree.NumNodes()
+	packColumn := func(heights []int, write func(v int, lane int, id uint32)) {
+		id := make([]uint32, nn)
+		stamp := make([]int32, nn)
 		for i := range stamp {
 			stamp[i] = -1
 		}
-		dense := make([]uint16, o.n)
-		for h := 0; h < o.words*4; h++ {
+		for lane, h := range heights {
 			hEff := h
 			if hEff > x.depth {
 				hEff = x.depth
 			}
-			next := uint16(0)
+			next := uint32(0)
 			for v := 0; v < o.n; v++ {
 				a := x.anc[v*x.stride+hEff]
-				if stamp[a] != int32(h) {
-					stamp[a] = int32(h)
+				if stamp[a] != int32(lane) {
+					stamp[a] = int32(lane)
 					id[a] = next
 					next++
 				}
-				dense[v] = id[a]
-			}
-			w, lane := h/4, uint(h%4)*16
-			for v := 0; v < o.n; v++ {
-				o.packed[(v*o.k+t)*o.words+w] |= uint64(dense[v]) << lane
+				write(v, lane, id[a])
 			}
 		}
+	}
+	par.ForEach(o.loWords+o.words, func(w int) {
+		if w < o.loWords {
+			// Low column w: heights 2w, 2w+1 (the latter only if < split).
+			heights := []int{2 * w}
+			if 2*w+1 < o.split {
+				heights = append(heights, 2*w+1)
+			}
+			packColumn(heights, func(v, lane int, cid uint32) {
+				o.packedLo[(v*o.k+t)*o.loWords+w] |= uint64(cid) << (uint(lane) * 32)
+			})
+			return
+		}
+		// High column: 4 heights starting at split + 4*(w - loWords).
+		hw := w - o.loWords
+		heights := make([]int, 4)
+		for l := range heights {
+			heights[l] = o.split + hw*4 + l
+		}
+		packColumn(heights, func(v, lane int, cid uint32) {
+			o.packed[(v*o.k+t)*o.words+hw] |= uint64(cid) << (uint(lane) * 16)
+		})
 	})
 }
 
@@ -364,18 +541,35 @@ func (o *OracleIndex) MaxDepth() int { return o.stride - 1 }
 // per-tree distances are the same prefix sums, and trees are folded in the
 // same ascending order with the same strict comparison.
 //
-// With the packed representation (n ≤ 65536) each tree's merge height — the
-// first height at which the two ancestor rows agree; they agree at the
-// shared root, and lockstep walks never separate once met — is found by
-// XOR-comparing 4-height words top-down and locating the highest differing
-// lane with a leading-zero count. Larger graphs binary-search the int32
-// rows instead.
+// With the packed representation each tree's merge height — the first
+// height at which the two ancestor rows agree; they agree at the shared
+// root, and lockstep walks never separate once met — is found by
+// XOR-comparing packed-lane words top-down (16-bit high row first, then
+// the 32-bit low row holding the wide bottom heights of large graphs) and
+// locating the highest differing lane with a leading-zero count. The
+// binary-search int32 kernel remains as the disablePacked fallback.
 func (o *OracleIndex) Min(u, v graph.Node) float64 {
 	if u == v {
 		return 0
 	}
 	ks := o.k * o.stride
 	var best float64
+	if o.packed != nil && o.packedLo != nil {
+		// Split rows (n > 65536): per-tree scan over both packed rows.
+		for t := 0; t < o.k; t++ {
+			h := o.splitMergeHeight(u, v, t)
+			var d float64
+			if ps := o.pwShared; ps != nil {
+				d = ps[t*o.stride+h] + ps[t*o.stride+h]
+			} else {
+				d = o.pw[int(u)*ks+t*o.stride+h] + o.pw[int(v)*ks+t*o.stride+h]
+			}
+			if t == 0 || d < best {
+				best = d
+			}
+		}
+		return best
+	}
 	if o.packed != nil {
 		kw := o.k * o.words
 		xu := o.packed[int(u)*kw : int(u)*kw+kw]
@@ -436,15 +630,37 @@ func (o *OracleIndex) Min(u, v graph.Node) float64 {
 	return best
 }
 
-// packedMergeHeight scans two packed rows top-down for the highest
-// differing height; the merge height is one above it. Distinct leaves
-// guarantee a difference in word 0, so the scan always terminates with a
-// hit for u ≠ v.
+// packedMergeHeight scans two packed 16-bit-lane rows top-down for the
+// highest differing height; the merge height is one above it. With a zero
+// split, distinct leaves guarantee a difference in word 0, so the scan
+// always terminates with a hit for u ≠ v.
 func packedMergeHeight(xu, xv []uint64) int {
 	for w := len(xu) - 1; w >= 0; w-- {
 		if x := xu[w] ^ xv[w]; x != 0 {
 			lane := (bits.Len64(x) - 1) >> 4
 			return w*4 + lane + 1
+		}
+	}
+	return 0
+}
+
+// splitMergeHeight is packedMergeHeight for split rows: the 16-bit high
+// row covers heights ≥ split, the 32-bit low row covers heights < split.
+// If the high rows agree everywhere the scan drops into the low row, where
+// distinct leaves guarantee a difference at height 0 (leaf clusters are
+// singletons); unused low padding lanes are zero on both sides and can
+// never fire.
+func (o *OracleIndex) splitMergeHeight(u, v graph.Node, t int) int {
+	bu, bv := (int(u)*o.k+t)*o.words, (int(v)*o.k+t)*o.words
+	for w := o.words - 1; w >= 0; w-- {
+		if x := o.packed[bu+w] ^ o.packed[bv+w]; x != 0 {
+			return o.split + w*4 + (bits.Len64(x)-1)>>4 + 1
+		}
+	}
+	lu, lv := (int(u)*o.k+t)*o.loWords, (int(v)*o.k+t)*o.loWords
+	for w := o.loWords - 1; w >= 0; w-- {
+		if x := o.packedLo[lu+w] ^ o.packedLo[lv+w]; x != 0 {
+			return w*2 + (bits.Len64(x)-1)>>5 + 1
 		}
 	}
 	return 0
@@ -500,11 +716,15 @@ func (o *OracleIndex) perTreeDists(u, v graph.Node, lo, hi int, dst []float64) {
 	}
 	ks := o.k * o.stride
 	if o.packed != nil {
-		kw := o.k * o.words
-		xu := o.packed[int(u)*kw : int(u)*kw+kw]
-		xv := o.packed[int(v)*kw : int(v)*kw+kw]
 		for t := lo; t < hi; t++ {
-			h := packedMergeHeight(xu[t*o.words:(t+1)*o.words], xv[t*o.words:(t+1)*o.words])
+			var h int
+			if o.packedLo != nil {
+				h = o.splitMergeHeight(u, v, t)
+			} else {
+				h = packedMergeHeight(
+					o.packed[(int(u)*o.k+t)*o.words:(int(u)*o.k+t+1)*o.words],
+					o.packed[(int(v)*o.k+t)*o.words:(int(v)*o.k+t+1)*o.words])
+			}
 			if ps := o.pwShared; ps != nil {
 				dst[t-lo] = ps[t*o.stride+h] + ps[t*o.stride+h]
 			} else {

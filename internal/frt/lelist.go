@@ -113,13 +113,11 @@ func SortByDist(x semiring.DistMap) semiring.DistMap {
 }
 
 // InitialStates returns the LE-list initialisation x(0) of Definition 7.3:
-// every node knows itself at distance 0.
+// every node knows itself at distance 0. The singletons share one bulk
+// backing allocation (see semiring.SingletonStates) — at large n the old
+// per-node pair allocations dominated initialisation time and heap count.
 func InitialStates(n int) []semiring.DistMap {
-	x0 := make([]semiring.DistMap, n)
-	for v := range x0 {
-		x0[v] = semiring.SingletonDist(graph.Node(v), 0)
-	}
-	return x0
+	return semiring.SingletonStates(n)
 }
 
 // LEListsOnGraph computes the LE lists of a graph directly, by iterating

@@ -1,0 +1,64 @@
+package frt
+
+import (
+	"os"
+	"testing"
+
+	"parmbf/internal/graph"
+	"parmbf/internal/par"
+)
+
+// TestScaleSmoke drives the full pipeline at 2^16 vertices: Chung-Lu
+// generation → landmark hop set → simulated graph H → K=2 oracle fixpoints →
+// tree assembly → oracle index, then spot-checks dominance and determinism.
+// It runs only with PARMBF_SCALE_SMOKE=1 — the CI scale-smoke job sets it on
+// every PR under a wall-clock timeout; locally it is opt-in because the
+// pipeline takes minutes on one core.
+func TestScaleSmoke(t *testing.T) {
+	if os.Getenv("PARMBF_SCALE_SMOKE") == "" {
+		t.Skip("set PARMBF_SCALE_SMOKE=1 to run the 2^16 end-to-end pipeline")
+	}
+	n := 1 << 16
+	g := graph.ChungLu(n, 8, 2.5, 100, par.NewRNG(42))
+	if g.N() != n {
+		t.Fatalf("generator produced %d nodes, want %d", g.N(), n)
+	}
+	t.Logf("graph: n=%d m=%d", g.N(), g.M())
+
+	e, err := NewEmbedder(g, Options{RNG: par.NewRNG(1), HopSet: HopSetLandmark})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ens, err := e.SampleEnsemble(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range ens.Trees {
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("tree %d invalid: %v", i, err)
+		}
+		t.Logf("tree %d: %d nodes, depth %d, beta %.3f", i, tr.NumNodes(), tr.Depth(), tr.Beta)
+	}
+
+	idx, err := ens.Index()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tree distances dominate the oracle's dist_H, which dominates the
+	// graph metric — so every ensemble answer must be ≥ the true distance
+	// (§7's dominance direction; the stretch bound is probabilistic, the
+	// floor is not). The walk comparison re-derives each answer without
+	// the packed split-lane kernel. Seed-determinism is not re-checked
+	// here — a second 2^16 draw would double the job's wall clock, and
+	// TestEmbedderDeterministicAcrossMaxProcs pins the property already.
+	d := graph.Dijkstra(g, 0)
+	for _, v := range []graph.Node{1, 255, graph.Node(n / 3), graph.Node(n - 1)} {
+		got := idx.Min(0, v)
+		if got < d.Dist[v] {
+			t.Errorf("Min(0,%d) = %v below graph distance %v", v, got, d.Dist[v])
+		}
+		if walk := ens.minWalk(0, v); got != walk {
+			t.Errorf("Min(0,%d): index %v != tree walk %v", v, got, walk)
+		}
+	}
+}

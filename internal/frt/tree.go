@@ -175,24 +175,59 @@ func BuildTree(lists []semiring.DistMap, order *Order, beta float64) (*Tree, err
 	if beta < 1 || beta >= 2 {
 		return nil, fmt.Errorf("frt: beta %v outside [1,2)", beta)
 	}
+	// Sort every list and reduce the distance range in parallel: the
+	// per-node sorts are independent, and min/max are order-free, so the
+	// result is identical at any parallel width. Validation failures record
+	// the lowest offending node so the error matches the serial scan's.
 	sorted := make([]semiring.DistMap, n)
-	dmin, dmax := semiring.Inf, 0.0
-	for v, l := range lists {
-		if l.Len() == 0 {
-			return nil, fmt.Errorf("frt: empty LE list at node %d", v)
-		}
-		s := SortByDist(l)
-		if s.Node(0) != graph.Node(v) || s.Dist(0) != 0 {
-			return nil, fmt.Errorf("frt: LE list of %d lacks self at distance 0", v)
-		}
-		sorted[v] = s
-		if s.Len() > 1 && s.Dist(1) < dmin {
-			dmin = s.Dist(1)
-		}
-		if last := s.Dist(s.Len() - 1); last > dmax {
-			dmax = last
-		}
+	type rangeAcc struct {
+		dmin, dmax float64
+		badEmpty   int // lowest node with an empty list, or n
+		badSelf    int // lowest node whose list lacks self@0, or n
 	}
+	acc := par.Reduce(n,
+		rangeAcc{dmin: semiring.Inf, badEmpty: n, badSelf: n},
+		func(v int) rangeAcc {
+			r := rangeAcc{dmin: semiring.Inf, badEmpty: n, badSelf: n}
+			l := lists[v]
+			if l.Len() == 0 {
+				r.badEmpty = v
+				return r
+			}
+			s := SortByDist(l)
+			if s.Node(0) != graph.Node(v) || s.Dist(0) != 0 {
+				r.badSelf = v
+				return r
+			}
+			sorted[v] = s
+			if s.Len() > 1 {
+				r.dmin = s.Dist(1)
+			}
+			r.dmax = s.Dist(s.Len() - 1)
+			return r
+		},
+		func(a, b rangeAcc) rangeAcc {
+			if b.dmin < a.dmin {
+				a.dmin = b.dmin
+			}
+			if b.dmax > a.dmax {
+				a.dmax = b.dmax
+			}
+			if b.badEmpty < a.badEmpty {
+				a.badEmpty = b.badEmpty
+			}
+			if b.badSelf < a.badSelf {
+				a.badSelf = b.badSelf
+			}
+			return a
+		})
+	if acc.badEmpty < n && acc.badEmpty <= acc.badSelf {
+		return nil, fmt.Errorf("frt: empty LE list at node %d", acc.badEmpty)
+	}
+	if acc.badSelf < n {
+		return nil, fmt.Errorf("frt: LE list of %d lacks self at distance 0", acc.badSelf)
+	}
+	dmin, dmax := acc.dmin, acc.dmax
 	if semiring.IsInf(dmin) {
 		dmin = 1 // single-node graph: any scale works
 	}
@@ -210,20 +245,25 @@ func BuildTree(lists []semiring.DistMap, order *Order, beta float64) (*Tree, err
 		imax++
 	}
 
-	// center(v, i) = last LE entry with distance ≤ r_i.
-	center := func(v int, i int) graph.Node {
+	// v's level-i center is the last LE entry with distance ≤ r_i. The sweep
+	// below visits levels top-down with strictly shrinking radii, so each
+	// node keeps a cursor into its sorted list that only ever moves left:
+	// total center work per node is O(len + levels) instead of O(len·levels),
+	// and the per-level cursor advance is embarrassingly parallel. Entry 0 is
+	// self at distance 0 ≤ r, so the cursor never underflows.
+	cursor := make([]int32, n)
+	advance := func(i int) {
 		r := beta * math.Pow(2, float64(i))
-		s := sorted[v]
-		best := s.Node(0)
-		for j := 0; j < s.Len(); j++ {
-			if s.Dist(j) <= r {
-				best = s.Node(j)
-			} else {
-				break
+		par.ForEach(n, func(v int) {
+			s := sorted[v]
+			j := cursor[v]
+			for j > 0 && s.Dist(int(j)) > r {
+				j--
 			}
-		}
-		return best
+			cursor[v] = j
+		})
 	}
+	centerAt := func(v int) graph.Node { return sorted[v].Node(int(cursor[v])) }
 
 	tree := &Tree{Beta: beta, Leaf: make([]int32, n)}
 	addNode := func(parent int32, c graph.Node, level int, w float64) int32 {
@@ -236,15 +276,23 @@ func BuildTree(lists []semiring.DistMap, order *Order, beta float64) (*Tree, err
 	}
 
 	// Root: all nodes share the center at level imax (the rank-0 node).
-	rootCenter := center(0, imax)
-	for v := 1; v < n; v++ {
-		if center(v, imax) != rootCenter {
-			return nil, fmt.Errorf("frt: no common root at level %d", imax)
-		}
+	// Start every cursor at the end of its list and pull it back to r_imax.
+	for v := 0; v < n; v++ {
+		cursor[v] = int32(sorted[v].Len() - 1)
+	}
+	advance(imax)
+	rootCenter := centerAt(0)
+	agree := par.Reduce(n, true,
+		func(v int) bool { return centerAt(v) == rootCenter },
+		func(a, b bool) bool { return a && b })
+	if !agree {
+		return nil, fmt.Errorf("frt: no common root at level %d", imax)
 	}
 	root := addNode(-1, rootCenter, imax, 0)
 
 	// Sweep levels top-down, splitting each cluster by its members' centers.
+	// Cluster ids are assigned by the serial v-order loop, so the tree is
+	// byte-identical at any parallel width.
 	cur := make([]int32, n)
 	for v := range cur {
 		cur[v] = root
@@ -254,10 +302,11 @@ func BuildTree(lists []semiring.DistMap, order *Order, beta float64) (*Tree, err
 		center graph.Node
 	}
 	for i := imax - 1; i >= imin; i-- {
+		advance(i)
 		ids := make(map[key]int32)
 		w := 2 * beta * math.Pow(2, float64(i)) // doubled weight; see Tree doc
 		for v := 0; v < n; v++ {
-			k := key{parent: cur[v], center: center(v, i)}
+			k := key{parent: cur[v], center: centerAt(v)}
 			id, ok := ids[k]
 			if !ok {
 				id = addNode(k.parent, k.center, i, w)

@@ -294,6 +294,118 @@ func RandomGeometric(n int, radius float64, rng *par.RNG) *Graph {
 	return b.Freeze()
 }
 
+// ChungLu returns a connected power-law random graph in the Chung-Lu
+// expected-degree model: node i carries weight wᵢ ∝ (i+1)^(−1/(τ−1)) scaled
+// so the mean degree is avgDeg, and edge {i,j} appears with probability
+// min(1, wᵢwⱼ/Σw). The realised degree sequence then has a power-law tail
+// with exponent ≈ τ — the degree skew that stresses the merge ladder with a
+// few huge adjacency rows. Generation is the Miller-Hagberg skip-sampling
+// scan: O(n + m) expected, not the naive O(n²) pair loop, so it runs at
+// n = 2^20 in seconds. Edge weights are uniform in [1, maxWeight]. Isolated
+// components are bridged to node 0 (the heaviest node), so the output is
+// connected; the handful of repair edges does not disturb the tail.
+func ChungLu(n int, avgDeg, tau, maxWeight float64, rng *par.RNG) *Graph {
+	if n < 2 {
+		panic("graph: ChungLu needs n ≥ 2")
+	}
+	if tau <= 2 {
+		panic("graph: ChungLu tail exponent must exceed 2 (finite mean)")
+	}
+	alpha := 1 / (tau - 1)
+	wts := make([]float64, n)
+	var sum float64
+	for i := range wts {
+		wts[i] = math.Pow(float64(i+1), -alpha)
+		sum += wts[i]
+	}
+	scale := float64(n) * avgDeg / sum
+	sum = 0
+	for i := range wts {
+		wts[i] *= scale
+		sum += wts[i]
+	}
+	ew := func() float64 { return quantize(1 + rng.Float64()*(maxWeight-1)) }
+	b := NewBuilder(n)
+	uf := NewUnionFind(n)
+	// Miller-Hagberg scan: weights are sorted descending by construction, so
+	// for fixed i the edge probability is non-increasing in j and geometric
+	// skips under the current bound p stay valid; each candidate is then
+	// accepted with the exact ratio q/p.
+	for i := 0; i < n-1; i++ {
+		j := i + 1
+		p := wts[i] * wts[j] / sum
+		if p > 1 {
+			p = 1
+		}
+		for j < n && p > 0 {
+			if p < 1 {
+				r := rng.Float64()
+				if r == 0 {
+					r = 0.5
+				}
+				if skip := math.Log(r) / math.Log(1-p); skip >= float64(n-j) {
+					break // geometric skip past the end of the row
+				} else {
+					j += int(skip)
+				}
+			}
+			q := wts[i] * wts[j] / sum
+			if q > 1 {
+				q = 1
+			}
+			if rng.Float64() < q/p {
+				b.Add(Node(i), Node(j), ew())
+				uf.Union(int32(i), int32(j))
+			}
+			p = q
+			j++
+		}
+	}
+	// Connectivity repair: attach every stray component to node 0.
+	root := uf.Find(0)
+	for v := 1; v < n; v++ {
+		if uf.Find(int32(v)) != root {
+			uf.Union(0, int32(v))
+			b.Add(0, Node(v), ew())
+		}
+	}
+	return b.Freeze()
+}
+
+// GridOfCliques returns a rows×cols grid whose cells are cliques of
+// cliqueN nodes: intra-clique weights uniform in [1, 2], adjacent cells
+// joined by one bridge edge of weight bridgeWeight between their first
+// nodes. With bridgeWeight ≫ 2 the graph combines dense local structure
+// (clique rows exercise wide merges) with a Θ(rows+cols) shortest-path
+// diameter — the road-network-like regime where hop sets pay off. The node
+// count is rows·cols·cliqueN and the edge count is exactly
+// rows·cols·cliqueN(cliqueN−1)/2 + rows(cols−1) + cols(rows−1).
+func GridOfCliques(rows, cols, cliqueN int, bridgeWeight float64, rng *par.RNG) *Graph {
+	if rows < 1 || cols < 1 || cliqueN < 1 {
+		panic("graph: GridOfCliques needs positive dimensions")
+	}
+	n := rows * cols * cliqueN
+	b := NewBuilder(n)
+	base := func(r, c int) int { return (r*cols + c) * cliqueN }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			o := base(r, c)
+			for u := 0; u < cliqueN; u++ {
+				for v := u + 1; v < cliqueN; v++ {
+					b.Add(Node(o+u), Node(o+v), quantize(1+rng.Float64()))
+				}
+			}
+			if c+1 < cols {
+				b.Add(Node(o), Node(base(r, c+1)), bridgeWeight)
+			}
+			if r+1 < rows {
+				b.Add(Node(o), Node(base(r+1, c)), bridgeWeight)
+			}
+		}
+	}
+	return b.Freeze()
+}
+
 // BarabasiAlbert returns a preferential-attachment graph: starting from a
 // small clique, each new node attaches to `attach` existing nodes chosen
 // with probability proportional to their degree, with weights uniform in

@@ -1,0 +1,123 @@
+package graph
+
+import (
+	"math"
+	"testing"
+
+	"parmbf/internal/par"
+)
+
+// TestChungLuDegreeTail pins the power-law tail of the realised degree
+// distribution: a log-log least-squares fit of the complementary CDF over
+// the mid-range degrees must recover a tail exponent near the requested τ.
+// The window is generous — finite-size effects and the connectivity repair
+// shift the fit — but a broken generator (uniform degrees, star blowup)
+// lands far outside it.
+func TestChungLuDegreeTail(t *testing.T) {
+	n := 1 << 14
+	tau := 2.5
+	g := ChungLu(n, 8, tau, 2, par.NewRNG(42))
+	if g.N() != n {
+		t.Fatalf("got %d nodes, want %d", g.N(), n)
+	}
+	if !g.Connected() {
+		t.Fatal("ChungLu graph must be connected after repair")
+	}
+	// Complementary CDF at powers of two: ccdf[j] = P(deg ≥ 2^j).
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		if d := g.Degree(Node(v)); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if maxDeg < 64 {
+		t.Fatalf("max degree %d too small for a heavy tail at n=%d", maxDeg, n)
+	}
+	var xs, ys []float64
+	for j := 2; (1 << j) <= maxDeg/4; j++ {
+		thresh := 1 << j
+		count := 0
+		for v := 0; v < n; v++ {
+			if g.Degree(Node(v)) >= thresh {
+				count++
+			}
+		}
+		if count < 10 {
+			break // too few samples for a stable point
+		}
+		xs = append(xs, math.Log(float64(thresh)))
+		ys = append(ys, math.Log(float64(count)/float64(n)))
+	}
+	if len(xs) < 3 {
+		t.Fatalf("only %d CCDF points; degree range too narrow", len(xs))
+	}
+	// Least-squares slope of log CCDF vs log degree ≈ −(τ−1).
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	k := float64(len(xs))
+	slope := (k*sxy - sx*sy) / (k*sxx - sx*sx)
+	fitTau := 1 - slope
+	if fitTau < 2.0 || fitTau > 3.3 {
+		t.Fatalf("fitted tail exponent %.2f outside window [2.0, 3.3] (requested τ=%.1f)", fitTau, tau)
+	}
+}
+
+// TestChungLuSmall exercises the generator at tiny sizes where the skip
+// sampler degenerates to near-complete scans.
+func TestChungLuSmall(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 17} {
+		g := ChungLu(n, 2, 2.5, 3, par.NewRNG(uint64(n)))
+		if g.N() != n || !g.Connected() {
+			t.Fatalf("n=%d: got %d nodes, connected=%v", n, g.N(), g.Connected())
+		}
+		if minW, maxW := g.WeightRange(); minW < 1 || maxW > 3 {
+			t.Fatalf("n=%d: weights [%g, %g] outside [1, 3]", n, minW, maxW)
+		}
+	}
+}
+
+// TestGridOfCliques pins the exact node and edge counts and the structural
+// invariants: connectivity, clique rows, bridge weights.
+func TestGridOfCliques(t *testing.T) {
+	rows, cols, cliqueN := 4, 5, 6
+	g := GridOfCliques(rows, cols, cliqueN, 16, par.NewRNG(7))
+	wantN := rows * cols * cliqueN
+	wantM := rows*cols*cliqueN*(cliqueN-1)/2 + rows*(cols-1) + cols*(rows-1)
+	if g.N() != wantN || g.M() != wantM {
+		t.Fatalf("got (%d nodes, %d edges), want (%d, %d)", g.N(), g.M(), wantN, wantM)
+	}
+	if !g.Connected() {
+		t.Fatal("grid of cliques must be connected")
+	}
+	// Every node in cell (0,0) is adjacent to all its clique mates.
+	for u := 0; u < cliqueN; u++ {
+		for v := u + 1; v < cliqueN; v++ {
+			w, ok := g.HasEdge(Node(u), Node(v))
+			if !ok || w < 1 || w > 2 {
+				t.Fatalf("clique edge {%d,%d}: ok=%v w=%g", u, v, ok, w)
+			}
+		}
+	}
+	// The bridge between cell (0,0) and cell (0,1) carries the bridge weight.
+	if w, ok := g.HasEdge(0, Node(cliqueN)); !ok || w != 16 {
+		t.Fatalf("bridge edge: ok=%v w=%g, want 16", ok, w)
+	}
+	// Interior cells have degree cliqueN−1 (+bridges only on first nodes).
+	if d := g.Degree(Node(cliqueN + 1)); d != cliqueN-1 {
+		t.Fatalf("non-gateway node degree %d, want %d", d, cliqueN-1)
+	}
+}
+
+// TestGridOfCliquesSingletons covers the degenerate cliqueN=1 case, which
+// must reduce to a plain grid.
+func TestGridOfCliquesSingletons(t *testing.T) {
+	g := GridOfCliques(3, 3, 1, 2, par.NewRNG(1))
+	if g.N() != 9 || g.M() != 12 || !g.Connected() {
+		t.Fatalf("3×3 grid: n=%d m=%d connected=%v", g.N(), g.M(), g.Connected())
+	}
+}

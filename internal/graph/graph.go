@@ -34,8 +34,10 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"sync/atomic"
 
+	"parmbf/internal/par"
 	"parmbf/internal/semiring"
 )
 
@@ -327,19 +329,65 @@ type halfArc struct {
 	w        float64
 }
 
+// maxFreezeEdges is the largest edge count Freeze can lay out: each edge
+// becomes two directed halves and row offsets are int32, so the 2m arc
+// indices must fit in [0, MaxInt32].
+const maxFreezeEdges = math.MaxInt32 / 2
+
+// checkArcCapacity returns an error when edges undirected edges would
+// produce a directed-arc count outside the int32 CSR offset range. It is
+// factored out of FreezeChecked so the overflow guard can be unit-tested
+// with a mocked count instead of 2^31 real edges.
+func checkArcCapacity(edges int) error {
+	if edges > maxFreezeEdges {
+		return fmt.Errorf("graph: %d edges produce %d directed arcs, exceeding the int32 CSR offset range", edges, 2*edges)
+	}
+	return nil
+}
+
+// freezeParallelMin is the directed-arc count below which the serial
+// scatter wins: the parallel path pays per-worker count arrays and two
+// barrier rounds, which only amortise on large arc arrays.
+const freezeParallelMin = 1 << 17
+
 // Freeze sorts and dedups the accumulated edges and returns the immutable
 // CSR graph. Sorting is a two-pass stable counting scatter — bucket the 2m
 // directed halves by target, then by source — which orders the arc array
 // by (from, to) in O(m + n) with purely sequential writes and no
 // comparator calls; a final in-place compaction collapses parallel edges
-// to the lightest copy.
+// to the lightest copy. Large inputs run the scatter in parallel
+// (per-worker count arrays merged by prefix sums over contiguous edge
+// chunks), producing a byte-identical graph at any par.MaxProcs. Freeze
+// panics when the arc count overflows the int32 offset range; use
+// FreezeChecked to get the error instead.
 func (b *Builder) Freeze() *Graph {
+	g, err := b.FreezeChecked()
+	if err != nil {
+		panic(err.Error())
+	}
+	return g
+}
+
+// FreezeChecked is Freeze returning an error instead of panicking when the
+// accumulated edges exceed the int32 CSR offset capacity (≥ 2^30 edges).
+// Callers ingesting externally sized inputs (file loaders, generators with
+// user-chosen parameters) should prefer it over Freeze.
+func (b *Builder) FreezeChecked() (*Graph, error) {
+	if err := checkArcCapacity(len(b.edges)); err != nil {
+		return nil, err
+	}
+	if 2*len(b.edges) >= freezeParallelMin && par.MaxProcs > 1 {
+		return b.freezeParallel(), nil
+	}
+	return b.freezeSerial(), nil
+}
+
+// freezeSerial is the single-threaded reference layout, kept both as the
+// small-input fast path and as the committed baseline the parallel scatter
+// is benchmarked and differentially tested against.
+func (b *Builder) freezeSerial() *Graph {
 	n := b.n
 	m2 := 2 * len(b.edges)
-	if m2 > math.MaxInt32 {
-		// Row offsets are int32; fail loudly rather than corrupt silently.
-		panic(fmt.Sprintf("graph: %d arcs exceed the int32 CSR offset range", m2))
-	}
 	// Pass 1: stable counting scatter by target.
 	cnt := make([]int32, n+1)
 	for _, e := range b.edges {
@@ -397,5 +445,162 @@ func (b *Builder) Freeze() *Graph {
 	// asserted against detectSymmetric by the transpose property tests
 	// rather than re-derived on every Freeze (an O(m log Δ) scan that would
 	// tax all graph construction for a provable constant).
+	return &Graph{rowStart: finalRow, arcs: arcs, m: w / 2, symmetric: true}
+}
+
+// freezeParallel is the multi-worker counting scatter. Each worker owns a
+// contiguous chunk of the edge (then half-arc) stream and a private count
+// array; a prefix sum across workers per bucket assigns each worker a
+// disjoint write window positioned after every lower-indexed worker's
+// items, which reproduces the serial stable order exactly — the frozen
+// graph is byte-identical to freezeSerial's at any par.MaxProcs. The dedup
+// compaction runs per row (each row's write region is disjoint), followed
+// by a parallel gather into the exact-size arc array.
+func (b *Builder) freezeParallel() *Graph {
+	n := b.n
+	mE := len(b.edges)
+	m2 := 2 * mE
+	procs := par.MaxProcs
+	if procs > mE {
+		procs = mE
+	}
+
+	// chunkOf splits a stream of k items into procs contiguous chunks.
+	chunkOf := func(w, k int) (int, int) { return w * k / procs, (w + 1) * k / procs }
+
+	// Per-worker count/cursor arrays, one bucket per node. The same backing
+	// is reused across both scatter passes.
+	cw := make([][]int32, procs)
+	for w := range cw {
+		cw[w] = make([]int32, n)
+	}
+	total := make([]int32, n)
+
+	// countToOffsets turns the per-worker bucket counts in cw into absolute
+	// write cursors: global degree prefix sums into rowStart, then an
+	// exclusive scan across workers within each bucket.
+	countToOffsets := func() []int32 {
+		par.ForEachChunk(n, func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				var s int32
+				for w := 0; w < procs; w++ {
+					s += cw[w][v]
+				}
+				total[v] = s
+			}
+		})
+		rowStart := make([]int32, n+1)
+		for v := 0; v < n; v++ {
+			rowStart[v+1] = rowStart[v] + total[v]
+		}
+		par.ForEachChunk(n, func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				run := rowStart[v]
+				for w := 0; w < procs; w++ {
+					c := cw[w][v]
+					cw[w][v] = run
+					run += c
+				}
+			}
+		})
+		return rowStart
+	}
+
+	// Pass 1: stable counting scatter of the 2m directed halves by target.
+	var wg sync.WaitGroup
+	runWorkers := func(body func(w int)) {
+		wg.Add(procs)
+		for w := 0; w < procs; w++ {
+			go func(w int) {
+				defer wg.Done()
+				body(w)
+			}(w)
+		}
+		wg.Wait()
+	}
+	runWorkers(func(w int) {
+		lo, hi := chunkOf(w, mE)
+		c := cw[w]
+		for _, e := range b.edges[lo:hi] {
+			c[e.U]++
+			c[e.V]++
+		}
+	})
+	rowStart := countToOffsets()
+	byTo := make([]halfArc, m2)
+	runWorkers(func(w int) {
+		lo, hi := chunkOf(w, mE)
+		next := cw[w]
+		for _, e := range b.edges[lo:hi] {
+			byTo[next[e.V]] = halfArc{from: e.U, to: e.V, w: e.Weight}
+			next[e.V]++
+			byTo[next[e.U]] = halfArc{from: e.V, to: e.U, w: e.Weight}
+			next[e.U]++
+		}
+	})
+
+	// Pass 2: stable counting scatter by source. Per-node half counts by
+	// source equal the counts by target (each edge contributes one half from
+	// and one half to each endpoint), so rowStart carries over; only the
+	// per-worker splits are recounted over the byTo chunks.
+	runWorkers(func(w int) {
+		clear(cw[w])
+		lo, hi := chunkOf(w, m2)
+		c := cw[w]
+		for i := lo; i < hi; i++ {
+			c[byTo[i].from]++
+		}
+	})
+	countToOffsets()
+	arcs := make([]Arc, m2)
+	runWorkers(func(w int) {
+		lo, hi := chunkOf(w, m2)
+		next := cw[w]
+		for i := lo; i < hi; i++ {
+			h := byTo[i]
+			arcs[next[h.from]] = Arc{To: h.to, Weight: h.w}
+			next[h.from]++
+		}
+	})
+
+	// Per-row in-place dedup: within each row the write cursor trails the
+	// read cursor, and rows are disjoint, so every row compacts to its own
+	// start concurrently. kept[v] is reused from total.
+	kept := total
+	par.ForEachChunk(n, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			row := arcs[rowStart[v]:rowStart[v+1]]
+			k := 0
+			last := Node(-1)
+			for _, a := range row {
+				if a.To == last {
+					if a.Weight < row[k-1].Weight {
+						row[k-1] = a
+					}
+					continue
+				}
+				last = a.To
+				row[k] = a
+				k++
+			}
+			kept[v] = int32(k)
+		}
+	})
+	finalRow := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		finalRow[v+1] = finalRow[v] + kept[v]
+	}
+	w := int(finalRow[n])
+	if w < m2 {
+		// Duplicates were collapsed: gather the compacted rows into an
+		// exact-size array so the graph does not pin oversized backing.
+		dense := make([]Arc, w)
+		par.ForEachChunk(n, func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				copy(dense[finalRow[v]:finalRow[v+1]], arcs[rowStart[v]:rowStart[v]+kept[v]])
+			}
+		})
+		arcs = dense
+	}
 	return &Graph{rowStart: finalRow, arcs: arcs, m: w / 2, symmetric: true}
 }

@@ -1,0 +1,107 @@
+package graph
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"parmbf/internal/par"
+)
+
+// scaleSizes returns the vertex counts the scale benchmarks sweep. The
+// default stops at 2^16 so a plain `make bench` stays quick; PARMBF_SCALE=1
+// (set by `make bench-scale`) adds the 2^20 point of the million-node tier.
+func scaleSizes() []int {
+	if os.Getenv("PARMBF_SCALE") != "" {
+		return []int{1 << 16, 1 << 20}
+	}
+	return []int{1 << 16}
+}
+
+// BenchmarkScaleChungLu measures power-law generation end to end (weight
+// draw, Miller–Hagberg scan, connectivity repair, Freeze) — the realistic
+// front door of the million-node pipeline.
+func BenchmarkScaleChungLu(b *testing.B) {
+	for _, n := range scaleSizes() {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g := ChungLu(n, 8, 2.5, 100, par.NewRNG(42))
+				if g.N() != n {
+					b.Fatalf("n = %d", g.N())
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScaleGridOfCliques measures the structured generator at the same
+// vertex counts (dense local clusters joined by a sparse bridge grid).
+func BenchmarkScaleGridOfCliques(b *testing.B) {
+	for _, n := range scaleSizes() {
+		side := 1
+		for side*side*16 < n {
+			side *= 2
+		}
+		b.Run(fmt.Sprintf("n=%d", side*side*16), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g := GridOfCliques(side, side, 16, 10, par.NewRNG(42))
+				if g.N() != side*side*16 {
+					b.Fatalf("n = %d", g.N())
+				}
+			}
+		})
+	}
+}
+
+// scaleEdgeBuilder returns a Builder holding a connected multigraph with 4n
+// undirected edges (a path plus random chords, ~1/16 duplicated), the
+// workload of the Freeze A/B pair below.
+func scaleEdgeBuilder(n int) *Builder {
+	rng := par.NewRNG(7)
+	bld := NewBuilder(n)
+	for v := 1; v < n; v++ {
+		bld.Add(Node(v-1), Node(v), 1)
+	}
+	for i := 0; i < 3*n; i++ {
+		u, v := Node(rng.Intn(n)), Node(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		bld.Add(u, v, 1+rng.Float64())
+		if i%16 == 0 {
+			bld.Add(v, u, 1+rng.Float64()) // duplicate; dedup keeps the lighter
+		}
+	}
+	return bld
+}
+
+// BenchmarkScaleFreezeSerial / BenchmarkScaleFreezeParallel are the paired
+// A/B measurement of the CSR build: identical Builder contents, one frozen
+// through the committed serial baseline and one through the per-worker
+// counting scatter. Their outputs are byte-identical (see freeze_test.go);
+// only the wall clock differs.
+func BenchmarkScaleFreezeSerial(b *testing.B) {
+	for _, n := range scaleSizes() {
+		bld := scaleEdgeBuilder(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bld.freezeSerial()
+			}
+		})
+	}
+}
+
+func BenchmarkScaleFreezeParallel(b *testing.B) {
+	for _, n := range scaleSizes() {
+		bld := scaleEdgeBuilder(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bld.freezeParallel()
+			}
+		})
+	}
+}

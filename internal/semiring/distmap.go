@@ -100,6 +100,27 @@ func SingletonDist(v NodeID, d float64) DistMap {
 	return DistMap{ids: []NodeID{v}, ds: []float64{d}}
 }
 
+// SingletonStates returns the n-vector (SingletonDist(0,0), …,
+// SingletonDist(n−1,0)) — the standard initial state of an
+// all-sources fixpoint — with every singleton carved from one shared
+// backing allocation instead of n separate two-slice allocations. At
+// n = 2^20 that is 3 allocations instead of ~2 million, and the backing
+// is 12 bytes per node instead of two size-classed slivers. Sharing is
+// safe under the aliasing contract: DistMap values are immutable once
+// published, and the engines only apply in-place filters to merge results
+// they own, never to inputs.
+func SingletonStates(n int) []DistMap {
+	ids, ds := allocPairs(n)
+	ids, ds = ids[:n], ds[:n]
+	states := make([]DistMap, n)
+	for v := 0; v < n; v++ {
+		ids[v] = NodeID(v)
+		// ds is zeroed by allocPairs; each singleton views its own element.
+		states[v] = DistMap{ids: ids[v : v+1 : v+1], ds: ds[v : v+1 : v+1]}
+	}
+	return states
+}
+
 // NewDistMap returns an empty map with capacity for n entries, for callers
 // that build a map incrementally with Append.
 func NewDistMap(n int) DistMap {

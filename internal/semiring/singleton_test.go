@@ -1,0 +1,39 @@
+package semiring
+
+import "testing"
+
+// TestSingletonStates pins the bulk-carved initial-state vector against the
+// per-node constructor: identical contents, full-capacity sub-slices (so an
+// append can never scribble into a neighbour's entry), and a constant
+// allocation count independent of n.
+func TestSingletonStates(t *testing.T) {
+	const n = 1024
+	states := SingletonStates(n)
+	if len(states) != n {
+		t.Fatalf("len = %d, want %d", len(states), n)
+	}
+	for v := 0; v < n; v++ {
+		if !(DistMapModule{}).Equal(states[v], SingletonDist(NodeID(v), 0)) {
+			t.Fatalf("states[%d] = %v, want {%d: 0}", v, states[v], v)
+		}
+		if cap(states[v].ids) != 1 || cap(states[v].ds) != 1 {
+			t.Fatalf("states[%d] caps = %d/%d, want 1/1 (append would alias the neighbour)",
+				v, cap(states[v].ids), cap(states[v].ds))
+		}
+	}
+	// Appending to one singleton must reallocate, not touch the shared
+	// backing of the next node.
+	grown := states[7].Append(NodeID(999), 3)
+	if states[8].Node(0) != 8 || states[8].Dist(0) != 0 {
+		t.Fatalf("append to states[7] corrupted states[8]: %v", states[8])
+	}
+	if grown.Len() != 2 {
+		t.Fatalf("grown = %v", grown)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		SingletonStates(n)
+	})
+	if allocs > 4 {
+		t.Errorf("SingletonStates(%d) = %.0f allocs, want ≤ 4 (bulk carve regressed to per-node allocation)", n, allocs)
+	}
+}

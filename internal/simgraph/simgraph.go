@@ -212,7 +212,6 @@ func (o *Oracle) iterate(x []semiring.DistMap, filter semiring.Filter[semiring.D
 	h := o.H
 	gp := h.Hop.Graph
 	n := len(x)
-	perLevel := make([][]semiring.DistMap, h.Lambda+1)
 	if o.runnersH != h {
 		o.runners = make([]*mbf.Runner[float64, semiring.DistMap], h.Lambda+1)
 		for lambda := range o.runners {
@@ -226,6 +225,20 @@ func (o *Oracle) iterate(x []semiring.DistMap, filter semiring.Filter[semiring.D
 		}
 		o.runnersH = h
 	}
+	// ⊕_λ is folded incrementally: acc carries r(⊕_{λ'≤λ} P_λ' …) and each
+	// level's result vector is dropped as soon as it is merged in, so the
+	// iteration retains two n-vectors instead of Λ+1 of them — at n = 2^20
+	// and Λ ≈ 20 that is the difference between ~100 MB and ~1 GB of slice
+	// headers alone. Filtering between partial merges is exact, not an
+	// approximation: a representative projection satisfies
+	// r(r(a⊕b)⊕c) = r(a⊕b⊕c) (Lemma 2.16 / Corollary 2.17), so the folded
+	// result equals the one-shot (Λ+1)-way merge entry for entry. The fold
+	// order λ = 0, 1, …, Λ is fixed, keeping the output deterministic at any
+	// parallel width.
+	var agg semiring.DistMapModule
+	var acc []semiring.DistMap
+	accOwned := false // acc entries are fresh merge outputs (in-place filterable)
+	var diff atomic.Bool
 	for lambda := 0; lambda <= h.Lambda; lambda++ {
 		runner := o.runners[lambda]
 		runner.Filter = filter
@@ -243,39 +256,52 @@ func (o *Oracle) iterate(x []semiring.DistMap, filter semiring.Filter[semiring.D
 		// of the hop set). This inner loop is the hot path of Embedder
 		// builds.
 		y, _ = runner.RunToFixpoint(y, h.Hop.D)
-		perLevel[lambda] = o.project(y, lambda)
+		lvl := o.project(y, lambda)
+		if acc == nil {
+			// Level 0 seeds the accumulator. The vector is ours (the runner
+			// builds a fresh one) but its entries may alias the caller's
+			// states, so only pure filters may touch them.
+			acc = lvl
+			continue
+		}
+		final := lambda == h.Lambda
+		par.ForEach(n, func(v int) {
+			st, _ := o.scratch.Get().(*levelScratch)
+			if st == nil {
+				st = new(levelScratch)
+			}
+			terms := append(st.terms[:0],
+				semiring.Term[float64, semiring.DistMap]{X: acc[v]},
+				semiring.Term[float64, semiring.DistMap]{X: lvl[v]})
+			merged := agg.Aggregate(&st.sc, semiring.DistMap{}, terms)
+			if o.FilterInPlace != nil {
+				acc[v] = o.FilterInPlace(merged)
+			} else {
+				acc[v] = filter(merged)
+			}
+			if final && detect && !diff.Load() && !agg.Equal(acc[v], x[v]) {
+				diff.Store(true)
+			}
+			terms[0], terms[1] = semiring.Term[float64, semiring.DistMap]{}, semiring.Term[float64, semiring.DistMap]{}
+			st.terms = terms[:0]
+			o.scratch.Put(st)
+		})
+		accOwned = true
 	}
-	// ⊕_λ: merge the per-level results node-wise with the k-way aggregation
-	// fast path (one fresh slice per node, pooled merge scratch) and filter
-	// the owned result in place when the caller provided the variant.
-	var agg semiring.DistMapModule
-	out := make([]semiring.DistMap, n)
-	var diff atomic.Bool
-	par.ForEach(n, func(v int) {
-		st, _ := o.scratch.Get().(*levelScratch)
-		if st == nil {
-			st = new(levelScratch)
-		}
-		terms := st.terms[:0]
-		for lambda := 0; lambda <= h.Lambda; lambda++ {
-			terms = append(terms, semiring.Term[float64, semiring.DistMap]{X: perLevel[lambda][v]})
-		}
-		merged := agg.Aggregate(&st.sc, semiring.DistMap{}, terms)
-		if o.FilterInPlace != nil {
-			out[v] = o.FilterInPlace(merged)
-		} else {
-			out[v] = filter(merged)
-		}
-		if detect && !diff.Load() && !agg.Equal(out[v], x[v]) {
-			diff.Store(true)
-		}
-		for i := range terms {
-			terms[i] = semiring.Term[float64, semiring.DistMap]{}
-		}
-		st.terms = terms[:0]
-		o.scratch.Put(st)
-	})
-	return out, diff.Load()
+	if !accOwned {
+		// Single-level graph (Λ = 0): the merge loop never ran, so apply the
+		// final filter and change detection in one pass. acc entries may
+		// alias the input states — the pure filter is mandatory here.
+		out := make([]semiring.DistMap, n)
+		par.ForEach(n, func(v int) {
+			out[v] = filter(acc[v])
+			if detect && !diff.Load() && !agg.Equal(out[v], x[v]) {
+				diff.Store(true)
+			}
+		})
+		return out, diff.Load()
+	}
+	return acc, diff.Load()
 }
 
 // Run performs h MBF-like iterations on H starting from x0.
