@@ -33,6 +33,7 @@ fuzz-short:
 	$(GO) test ./internal/frt/ -run xxx -fuzz FuzzReadTree -fuzztime 10s
 	$(GO) test ./internal/frt/ -run xxx -fuzz FuzzReadSnapshot -fuzztime 10s
 	$(GO) test ./internal/graph/ -run xxx -fuzz FuzzReadDIMACS -fuzztime 10s
+	$(GO) test ./internal/graph/ -run xxx -fuzz FuzzApplyUpdates -fuzztime 10s
 
 ## Coverage floor: the short tier under -coverprofile must not drop below
 ## COVER_MIN, measured at the scale-tier branch point (82.0% with a 0.2pt
@@ -66,7 +67,7 @@ bench-graph:
 ## iteration, embedder sampling); each run appends one JSON line to
 ## BENCH_mbf.json.
 bench-mbf:
-	@out="$$($(GO) test ./internal/mbf/ ./internal/simgraph/ ./internal/frt/ -run xxx -bench 'Iterate4096|IterateGeneric4096|IterateSparse4096|FixpointSparse4096|FixpointDense4096|SourceDetection4096|SourceDetectionBatch8|SourceDetectionPerSet8|SSSPIteration|KSSP$$|OracleIterate|LEListsOnGraph|EmbedderSample' -benchmem)" \
+	@out="$$($(GO) test ./internal/mbf/ ./internal/simgraph/ ./internal/frt/ -run xxx -bench 'Iterate4096|IterateGeneric4096|IterateSparse4096|FixpointSparse4096|FixpointDense4096|SourceDetection4096|SourceDetectionBatch8|SourceDetectionPerSet8|SSSPIteration|KSSP$$|OracleIterate|LEListsOnGraph|EmbedderSample|IncrementalUpdate' -benchmem)" \
 		|| { echo "$$out"; echo "bench-mbf: go test failed"; exit 1; }; \
 	echo "$$out"; \
 	echo "$$out" | grep '^Benchmark' | jq -R . | jq -sc \
@@ -139,7 +140,7 @@ scale-smoke:
 ## >20% ns/op regression in the gated hot paths.
 bench-gate:
 	$(GO) run ./cmd/benchgate -file BENCH_graph.json -match 'Dijkstra4096' -max 1.20
-	$(GO) run ./cmd/benchgate -file BENCH_mbf.json -match 'Iterate4096|SourceDetection4096|SourceDetectionBatch8' -max 1.20
+	$(GO) run ./cmd/benchgate -file BENCH_mbf.json -match 'Iterate4096|SourceDetection4096|SourceDetectionBatch8|IncrementalUpdate-' -max 1.20
 	$(GO) run ./cmd/benchgate -file BENCH_oracle.json -match 'OracleIndexMinBatch4096|SnapshotLoad4096|FleetBatch1024' -max 1.20
 	$(GO) run ./cmd/benchgate -file BENCH_semiring.json -match 'MergeKernel/' -max 1.20
 

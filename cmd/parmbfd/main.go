@@ -48,17 +48,21 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
-	"io"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"parmbf/internal/frt"
@@ -70,6 +74,11 @@ import (
 // enough that a hostile request cannot make the server allocate without
 // bound.
 const maxBatchPairs = 1 << 16
+
+// maxBodyBytes caps every request body at the transport layer
+// (http.MaxBytesReader): a hostile client cannot stream an unbounded body at
+// the JSON decoder regardless of what the payload claims to contain.
+const maxBodyBytes = 1 << 24
 
 func main() {
 	var (
@@ -83,6 +92,9 @@ func main() {
 
 		save = flag.String("save", "", "write the built ensemble to a snapshot file, then serve")
 		load = flag.String("load", "", "serve from a snapshot file instead of rebuilding the pipeline")
+
+		dynamic = flag.Bool("dynamic", false, "build via the direct LE-list pipeline and accept live edits on POST /update")
+		drain   = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain deadline for in-flight requests")
 
 		routerMode    = flag.Bool("router", false, "run as a sharding router over -workers instead of serving an ensemble")
 		workers       = flag.String("workers", "", "comma-separated worker base URLs (router mode)")
@@ -120,18 +132,27 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		defer rt.Close()
 		fmt.Printf("router: n=%d trees=%d over %d workers, shards %v\n", rt.n, rt.k, len(rt.workers), rt.shards)
 		fmt.Printf("serving on %s\n", *addr)
-		fail(listenAndServe(*addr, rt.mux()))
+		if err := listenAndServe(*addr, rt.mux(), *drain, rt.Close); err != nil {
+			fail(err)
+		}
+		return
 	}
 
 	var (
 		ens  *frt.Ensemble
 		meta frt.SnapshotMeta
+		dyn  *frt.DynamicEnsemble
 	)
 	start := time.Now()
-	if *load != "" {
+	switch {
+	case *load != "":
+		if *dynamic {
+			// A snapshot holds only the trees, not the LE-list fixpoint state
+			// incremental repair resumes from.
+			fail(fmt.Errorf("-dynamic requires building from a graph (-in or -gen), not -load"))
+		}
 		var err error
 		ens, meta, err = frt.ReadSnapshotFile(*load)
 		if err != nil {
@@ -139,16 +160,30 @@ func main() {
 		}
 		fmt.Printf("snapshot %s: n=%d m=%d K=%d loaded in %v\n",
 			*load, meta.GraphNodes, meta.GraphEdges, len(ens.Trees), time.Since(start).Round(time.Millisecond))
-	} else {
+	case *dynamic:
 		rng := par.NewRNG(*seed)
 		g, err := loadGraph(*in, *gen, *n, *m, rng)
 		if err != nil {
 			fail(err)
 		}
 		fmt.Printf("graph: n=%d m=%d\n", g.N(), g.M())
-		ens, meta, err = buildEnsemble(g, *trees, rng)
+		dyn, err = frt.NewDynamicEnsemble(g, *trees, rng, nil)
 		if err != nil {
 			fail(err)
+		}
+		ens, meta = dyn.Ensemble(), frt.SnapshotMeta{GraphNodes: g.N(), GraphEdges: g.M()}
+		fmt.Printf("pipeline (direct, dynamic): K=%d trees built in %v\n", len(ens.Trees), time.Since(start).Round(time.Millisecond))
+	default:
+		rng := par.NewRNG(*seed)
+		g, err := loadGraph(*in, *gen, *n, *m, rng)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("graph: n=%d m=%d\n", g.N(), g.M())
+		var err2 error
+		ens, meta, err2 = buildEnsemble(g, *trees, rng)
+		if err2 != nil {
+			fail(err2)
 		}
 		fmt.Printf("pipeline: K=%d trees built in %v\n", len(ens.Trees), time.Since(start).Round(time.Millisecond))
 	}
@@ -160,15 +195,18 @@ func main() {
 		fmt.Printf("snapshot saved to %s in %v\n", *save, time.Since(t0).Round(time.Millisecond))
 	}
 	t0 := time.Now()
-	s, err := newServer(ens, meta)
+	s, err := newServer(ens, meta, dyn)
 	if err != nil {
 		fail(err)
 	}
+	st := s.state.Load()
 	fmt.Printf("oracle: K=%d trees, max depth %d, indexed in %v (total cold start %v)\n",
-		s.idx.NumTrees(), s.idx.MaxDepth(), time.Since(t0).Round(time.Millisecond),
+		st.idx.NumTrees(), st.idx.MaxDepth(), time.Since(t0).Round(time.Millisecond),
 		time.Since(start).Round(time.Millisecond))
 	fmt.Printf("serving on %s\n", *addr)
-	fail(listenAndServe(*addr, s.mux()))
+	if err := listenAndServe(*addr, s.mux(), *drain, nil); err != nil {
+		fail(err)
+	}
 }
 
 func splitWorkerURLs(s string) []string {
@@ -181,9 +219,23 @@ func splitWorkerURLs(s string) []string {
 	return urls
 }
 
-func listenAndServe(addr string, h http.Handler) error {
-	srv := &http.Server{
-		Addr:    addr,
+// listenAndServe serves h until the listener fails or the process receives
+// SIGINT/SIGTERM, then shuts down gracefully: the listener closes at once
+// (the router's health probes and shard retries see connection refused and
+// stop cleanly), in-flight requests — including a /batch mid-merge or an
+// /update mid-repair — get up to drain to complete, and only then does
+// onStopped (e.g. the router's health-loop teardown) run. A nil error means
+// a clean signal-initiated exit.
+func listenAndServe(addr string, h http.Handler, drain time.Duration, onStopped func()) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return serveGracefully(newHTTPServer(h), ln, drain, onStopped)
+}
+
+func newHTTPServer(h http.Handler) *http.Server {
+	return &http.Server{
 		Handler: h,
 		// Serving-hardening timeouts: a slow-loris client (or one that
 		// never finishes a /batch body) must not pin a connection forever.
@@ -192,22 +244,69 @@ func listenAndServe(addr string, h http.Handler) error {
 		WriteTimeout:      30 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
-	return srv.ListenAndServe()
 }
 
-// server holds the immutable oracle and the query counters. The index is
-// read-only after construction, so handlers share it without locking; the
-// response buffers come from a pool. The graph itself is never retained —
-// only its shape, so a snapshot-loaded server is indistinguishable from a
-// freshly built one.
-type server struct {
+// serveGracefully serves on ln until the listener fails or SIGINT/SIGTERM
+// arrives. A signal closes the listener immediately — new connections are
+// refused, so the router's health probes and shard retries against a
+// stopping worker fail fast and move on — while in-flight requests
+// (including a /batch mid-merge or an /update mid-repair) get up to drain to
+// complete. onStopped (e.g. the router's health-loop teardown) runs after
+// the drain. A nil error means a clean signal-initiated exit.
+func serveGracefully(srv *http.Server, ln net.Listener, drain time.Duration, onStopped func()) error {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	var err error
+	select {
+	case err = <-errCh:
+	case <-ctx.Done():
+		stop() // a second signal kills immediately via the default handler
+		fmt.Printf("signal received, draining in-flight requests (up to %v)\n", drain)
+		sctx, cancel := context.WithTimeout(context.Background(), drain)
+		err = srv.Shutdown(sctx)
+		cancel()
+		<-errCh // Serve has returned ErrServerClosed
+	}
+	if onStopped != nil {
+		onStopped()
+	}
+	if errors.Is(err, http.ErrServerClosed) {
+		err = nil
+	}
+	return err
+}
+
+// serverState is one immutable serving snapshot: the indexed ensemble plus
+// the graph shape and a monotonic version. Handlers load it exactly once per
+// request through an atomic pointer, so every query is answered consistently
+// against a single snapshot even while POST /update swaps in the next one —
+// the bounded-staleness contract: a query admitted before a swap may answer
+// from the pre-update index, never from a torn mix of the two.
+type serverState struct {
 	n, m    int // embedded graph shape (nodes, edges)
+	version int64
 	idx     *frt.OracleIndex
 	ens     *frt.Ensemble
+}
+
+// server holds the current serving snapshot and the query counters. Each
+// state snapshot is read-only after construction, so handlers share it
+// without locking; the response buffers come from a pool. In static mode the
+// graph itself is never retained — only its shape, so a snapshot-loaded
+// server is indistinguishable from a freshly built one. In dynamic mode dyn
+// retains the repairable fixpoint state; updateMu serialises updates.
+type server struct {
+	state   atomic.Pointer[serverState]
 	started time.Time
+
+	dyn      *frt.DynamicEnsemble // nil: static server, /update answers 409
+	updateMu sync.Mutex           // serialises POST /update end to end
 
 	queries atomic.Int64 // pairs answered
 	batches atomic.Int64 // /batch requests served
+	updates atomic.Int64 // edit batches applied
 
 	bufs sync.Pool // *[]float64 response buffers
 }
@@ -228,13 +327,15 @@ func buildEnsemble(g *graph.Graph, trees int, rng *par.RNG) (*frt.Ensemble, frt.
 }
 
 // newServer indexes the ensemble and wires the handler state. It serves
-// identically whether ens was freshly sampled or loaded from a snapshot.
-func newServer(ens *frt.Ensemble, meta frt.SnapshotMeta) (*server, error) {
+// identically whether ens was freshly sampled or loaded from a snapshot;
+// passing a non-nil dyn additionally enables POST /update.
+func newServer(ens *frt.Ensemble, meta frt.SnapshotMeta, dyn *frt.DynamicEnsemble) (*server, error) {
 	idx, err := ens.Index()
 	if err != nil {
 		return nil, err
 	}
-	s := &server{n: idx.NumLeaves(), m: meta.GraphEdges, idx: idx, ens: ens, started: time.Now()}
+	s := &server{dyn: dyn, started: time.Now()}
+	s.state.Store(&serverState{n: idx.NumLeaves(), m: meta.GraphEdges, idx: idx, ens: ens})
 	s.bufs.New = func() any { b := make([]float64, 0, 1024); return &b }
 	return s, nil
 }
@@ -245,6 +346,7 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /dist", s.handleDist)
 	mux.HandleFunc("POST /batch", s.handleBatch)
+	mux.HandleFunc("POST /update", s.handleUpdate)
 	return mux
 }
 
@@ -253,32 +355,37 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	st := s.state.Load()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"mode":     "server",
-		"nodes":    s.n,
-		"edges":    s.m,
-		"trees":    s.idx.NumTrees(),
-		"maxDepth": s.idx.MaxDepth(),
+		"dynamic":  s.dyn != nil,
+		"nodes":    st.n,
+		"edges":    st.m,
+		"trees":    st.idx.NumTrees(),
+		"maxDepth": st.idx.MaxDepth(),
+		"version":  st.version,
 		"queries":  s.queries.Load(),
 		"batches":  s.batches.Load(),
+		"updates":  s.updates.Load(),
 		"uptimeMs": time.Since(s.started).Milliseconds(),
 	})
 }
 
 func (s *server) handleDist(w http.ResponseWriter, r *http.Request) {
-	u, err1 := parseNode(r.URL.Query().Get("u"), s.n)
-	v, err2 := parseNode(r.URL.Query().Get("v"), s.n)
+	st := s.state.Load()
+	u, err1 := parseNode(r.URL.Query().Get("u"), st.n)
+	v, err2 := parseNode(r.URL.Query().Get("v"), st.n)
 	if err1 != nil || err2 != nil {
 		writeError(w, http.StatusBadRequest, errBadNode,
-			"u and v must be node ids in [0, n)", map[string]any{"n": s.n})
+			"u and v must be node ids in [0, n)", map[string]any{"n": st.n})
 		return
 	}
 	var d float64
 	switch stat := r.URL.Query().Get("stat"); stat {
 	case "", "min":
-		d = s.idx.Min(u, v)
+		d = st.idx.Min(u, v)
 	case "median":
-		d = s.idx.Median(u, v)
+		d = st.idx.Median(u, v)
 	default:
 		writeError(w, http.StatusBadRequest, errBadStat,
 			"stat must be min or median", map[string]any{"stat": stat})
@@ -305,12 +412,15 @@ type batchResponse struct {
 }
 
 // decodeBatch parses and validates a /batch body against node count n,
-// writing the structured error response itself on failure.
+// writing the structured error response itself on failure. The body is read
+// through http.MaxBytesReader, which (unlike a bare LimitReader) also closes
+// the connection on overflow so the client cannot keep streaming, and lets
+// the decode error be classified as a 413.
 func decodeBatch(w http.ResponseWriter, r *http.Request, n int) ([]frt.Pair, *batchRequest, bool) {
 	var req batchRequest
-	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<24))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, errBadJSON, "bad JSON: "+err.Error(), nil)
+		writeDecodeError(w, err)
 		return nil, nil, false
 	}
 	if len(req.Pairs) == 0 {
@@ -338,7 +448,8 @@ func decodeBatch(w http.ResponseWriter, r *http.Request, n int) ([]frt.Pair, *ba
 }
 
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	pairs, req, ok := decodeBatch(w, r, s.n)
+	st := s.state.Load()
+	pairs, req, ok := decodeBatch(w, r, st.n)
 	if !ok {
 		return
 	}
@@ -348,19 +459,19 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	resp := batchResponse{}
 	switch req.Stat {
 	case "", "min":
-		out = s.idx.MinBatch(pairs, *bufp)
+		out = st.idx.MinBatch(pairs, *bufp)
 	case "median":
-		out = s.idx.MedianBatch(pairs, *bufp)
+		out = st.idx.MedianBatch(pairs, *bufp)
 	case "pertree":
-		lo, hi := 0, s.idx.NumTrees()
+		lo, hi := 0, st.idx.NumTrees()
 		if req.Trees != nil {
 			lo, hi = req.Trees[0], req.Trees[1]
 		}
 		var err error
-		out, err = s.idx.PerTreeBatch(pairs, lo, hi, *bufp)
+		out, err = st.idx.PerTreeBatch(pairs, lo, hi, *bufp)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, errBadTreeRange,
-				err.Error(), map[string]any{"trees": [2]int{lo, hi}, "k": s.idx.NumTrees()})
+				err.Error(), map[string]any{"trees": [2]int{lo, hi}, "k": st.idx.NumTrees()})
 			return
 		}
 		resp.Trees = &[2]int{lo, hi}
@@ -400,13 +511,30 @@ const (
 	errBadJSON             = "bad_json"
 	errEmptyPairs          = "empty_pairs"
 	errBatchTooLarge       = "batch_too_large"
+	errBodyTooLarge        = "body_too_large"
 	errPairOutOfRange      = "pair_out_of_range"
 	errBadStat             = "bad_stat"
 	errBadNode             = "bad_node"
 	errBadTreeRange        = "bad_tree_range"
+	errBadEdit             = "bad_edit"
+	errUpdateUnsupported   = "update_unsupported"
 	errOverloaded          = "overloaded"
 	errUpstreamUnavailable = "upstream_unavailable"
 )
+
+// writeDecodeError classifies a JSON-decode failure: a body that tripped
+// http.MaxBytesReader is a 413 with its own code (the client must shrink the
+// request, not fix its syntax); everything else is a 400 bad_json.
+func writeDecodeError(w http.ResponseWriter, err error) {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		writeError(w, http.StatusRequestEntityTooLarge, errBodyTooLarge,
+			fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit),
+			map[string]any{"maxBytes": tooLarge.Limit})
+		return
+	}
+	writeError(w, http.StatusBadRequest, errBadJSON, "bad JSON: "+err.Error(), nil)
+}
 
 type apiError struct {
 	Code    string         `json:"code"`

@@ -23,7 +23,7 @@ func testServer(t *testing.T) (*server, *httptest.Server, *graph.Graph, *frt.Ens
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := newServer(ens, meta)
+	s, err := newServer(ens, meta, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +57,7 @@ func TestHealthzAndStats(t *testing.T) {
 	if code := getJSON(t, ts.URL+"/stats", &stats); code != http.StatusOK {
 		t.Fatalf("stats: code %d", code)
 	}
-	if int(stats["nodes"].(float64)) != g.N() || int(stats["trees"].(float64)) != s.idx.NumTrees() {
+	if int(stats["nodes"].(float64)) != g.N() || int(stats["trees"].(float64)) != s.state.Load().idx.NumTrees() {
 		t.Fatalf("stats mismatch: %v", stats)
 	}
 	if int(stats["edges"].(float64)) != g.M() {
@@ -231,7 +231,7 @@ func TestBatchMedianStat(t *testing.T) {
 func TestBatchPerTreeStat(t *testing.T) {
 	s, ts, _, _ := testServer(t)
 	pairs := []frt.Pair{{U: 0, V: 1}, {U: 7, V: 7}, {U: 40, V: 3}}
-	want, err := s.idx.PerTreeBatch(pairs, 1, 3, nil)
+	want, err := s.state.Load().idx.PerTreeBatch(pairs, 1, 3, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,7 +252,7 @@ func TestBatchPerTreeStat(t *testing.T) {
 	}
 	// Default shard is the whole ensemble.
 	code, br = postJSON(t, ts.URL+"/batch", `{"pairs":[[0,1]],"stat":"pertree"}`)
-	if code != http.StatusOK || *br.Trees != [2]int{0, s.idx.NumTrees()} {
+	if code != http.StatusOK || *br.Trees != [2]int{0, s.state.Load().idx.NumTrees()} {
 		t.Fatalf("default pertree shard: code %d trees %v", code, br.Trees)
 	}
 }
@@ -275,7 +275,7 @@ func TestServerFromSnapshotMatchesBuilt(t *testing.T) {
 	if meta2 != meta {
 		t.Fatalf("snapshot meta %+v, want %+v", meta2, meta)
 	}
-	s2, err := newServer(ens2, meta2)
+	s2, err := newServer(ens2, meta2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

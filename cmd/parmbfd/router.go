@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"sync"
@@ -202,7 +203,88 @@ func (rt *router) mux() *http.ServeMux {
 	mux.HandleFunc("GET /stats", rt.handleStats)
 	mux.HandleFunc("GET /dist", rt.handleDist)
 	mux.HandleFunc("POST /batch", rt.handleBatch)
+	mux.HandleFunc("POST /update", rt.handleUpdate)
 	return mux
+}
+
+// handleUpdate forwards an edit batch to every worker replica — each worker
+// holds the full ensemble, so all of them must apply every update. The
+// forwards run concurrently; the response reports each worker's resulting
+// version. Any worker failure yields 502 with the per-worker outcomes so the
+// operator can see which replicas diverged (a replica that missed an update
+// must be restarted before it serves again — the router's health probes
+// don't track versions).
+func (rt *router) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeDecodeError(w, err)
+		return
+	}
+	// Updates run a repair and a reindex upstream — give them far more room
+	// than one query attempt.
+	timeout := 6 * rt.attemptTimeout
+	if timeout < 30*time.Second {
+		timeout = 30 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	type workerUpdate struct {
+		URL     string `json:"url"`
+		Version int64  `json:"version,omitempty"`
+		Error   string `json:"error,omitempty"`
+	}
+	results := make([]workerUpdate, len(rt.workers))
+	var wg sync.WaitGroup
+	failed := 0
+	var mu sync.Mutex
+	for i, wk := range rt.workers {
+		wg.Add(1)
+		go func(i int, wk *workerRef) {
+			defer wg.Done()
+			ver, err := rt.postUpdate(ctx, wk, body)
+			results[i] = workerUpdate{URL: wk.url, Version: ver}
+			if err != nil {
+				results[i].Error = err.Error()
+				mu.Lock()
+				failed++
+				mu.Unlock()
+			}
+		}(i, wk)
+	}
+	wg.Wait()
+	if failed > 0 {
+		writeError(w, http.StatusBadGateway, errUpstreamUnavailable,
+			fmt.Sprintf("%d of %d workers failed to apply the update", failed, len(rt.workers)),
+			map[string]any{"workers": results})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"workers": results})
+}
+
+func (rt *router) postUpdate(ctx context.Context, w *workerRef, body []byte) (int64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.url+"/update", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rt.hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var er errorResponse
+		if json.NewDecoder(resp.Body).Decode(&er) == nil && er.Error.Code != "" {
+			return 0, fmt.Errorf("POST /update: %s: %s (%s)", resp.Status, er.Error.Message, er.Error.Code)
+		}
+		return 0, fmt.Errorf("POST /update: %s", resp.Status)
+	}
+	var ur updateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ur); err != nil {
+		return 0, err
+	}
+	return ur.Version, nil
 }
 
 // handleHealthz reports fleet health: ok with every replica up, degraded

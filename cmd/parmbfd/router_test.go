@@ -25,7 +25,7 @@ func testFleet(t *testing.T, workers int, attemptTimeout, healthEvery time.Durat
 	if err != nil {
 		t.Fatal(err)
 	}
-	ref, err := newServer(ens, meta)
+	ref, err := newServer(ens, meta, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +34,7 @@ func testFleet(t *testing.T, workers int, attemptTimeout, healthEvery time.Durat
 		tss  []*httptest.Server
 	)
 	for i := 0; i < workers; i++ {
-		ws, err := newServer(ens, meta)
+		ws, err := newServer(ens, meta, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -76,9 +76,9 @@ func TestRouterShardedMergeMatchesSingle(t *testing.T) {
 		rts := httptest.NewServer(rt.mux())
 		t.Cleanup(rts.Close)
 
-		wire, pairs := randomWirePairs(uint64(workers), ref.n, 64)
-		wantMin := ref.idx.MinBatch(pairs, nil)
-		wantMed := ref.idx.MedianBatch(pairs, nil)
+		wire, pairs := randomWirePairs(uint64(workers), ref.state.Load().n, 64)
+		wantMin := ref.state.Load().idx.MinBatch(pairs, nil)
+		wantMed := ref.state.Load().idx.MedianBatch(pairs, nil)
 		for _, c := range []struct {
 			stat string
 			want []float64
@@ -102,7 +102,7 @@ func TestRouterShardedMergeMatchesSingle(t *testing.T) {
 		if code := getJSON(t, rts.URL+"/dist?u=3&v=40&stat=median", &got); code != http.StatusOK {
 			t.Fatalf("%d workers /dist: code %d", workers, code)
 		}
-		if want := ref.idx.Median(3, 40); got.Dist != want {
+		if want := ref.state.Load().idx.Median(3, 40); got.Dist != want {
 			t.Fatalf("%d workers /dist: %v, want %v", workers, got.Dist, want)
 		}
 	}
@@ -144,8 +144,8 @@ func TestRouterSurvivesKilledWorker(t *testing.T) {
 
 	tss[1].Close() // kill the middle replica (owns a non-empty shard of K=6)
 
-	wire, pairs := randomWirePairs(7, ref.n, 32)
-	want := ref.idx.MinBatch(pairs, nil)
+	wire, pairs := randomWirePairs(7, ref.state.Load().n, 32)
+	want := ref.state.Load().idx.MinBatch(pairs, nil)
 	body, _ := json.Marshal(batchRequest{Pairs: wire})
 	code, br := postJSON(t, rts.URL+"/batch", string(body))
 	if code != http.StatusOK {
@@ -227,7 +227,7 @@ func TestRouterSurvivesHangingWorker(t *testing.T) {
 			return
 		}
 		// /stats and /healthz answer normally so the worker looks alive.
-		writeJSON(w, http.StatusOK, statsResponse{Nodes: int64(ref.n), Trees: int64(ref.idx.NumTrees())})
+		writeJSON(w, http.StatusOK, statsResponse{Nodes: int64(ref.state.Load().n), Trees: int64(ref.state.Load().idx.NumTrees())})
 	}))
 	t.Cleanup(hang.Close)
 	t.Cleanup(func() { close(release) }) // runs before hang.Close, unwedging it
@@ -242,8 +242,8 @@ func TestRouterSurvivesHangingWorker(t *testing.T) {
 	rts := httptest.NewServer(rt2.mux())
 	t.Cleanup(rts.Close)
 
-	wire, pairs := randomWirePairs(13, ref.n, 16)
-	want := ref.idx.MedianBatch(pairs, nil)
+	wire, pairs := randomWirePairs(13, ref.state.Load().n, 16)
+	want := ref.state.Load().idx.MedianBatch(pairs, nil)
 	body, _ := json.Marshal(batchRequest{Pairs: wire, Stat: "median"})
 	start := time.Now()
 	code, br := postJSON(t, rts.URL+"/batch", string(body))
@@ -273,8 +273,8 @@ func TestRouterShutdownLeaksNoGoroutines(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ws1, _ := newServer(ens, meta)
-	ws2, _ := newServer(ens, meta)
+	ws1, _ := newServer(ens, meta, nil)
+	ws2, _ := newServer(ens, meta, nil)
 	ts1 := httptest.NewServer(ws1.mux())
 	ts2 := httptest.NewServer(ws2.mux())
 	rt, err := newRouter([]string{ts1.URL, ts2.URL}, 4, 300*time.Millisecond, 20*time.Millisecond)

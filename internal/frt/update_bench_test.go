@@ -1,0 +1,77 @@
+package frt
+
+// Benchmarks for the live-update path at serving scale (n = 4096, K = 16,
+// the direct pipeline): one single-edge reweight absorbed incrementally —
+// repair + tree patch + fresh OracleIndex, i.e. everything POST /update does
+// — against the full frozen-randomness rebuild it replaces. The acceptance
+// bar for the dynamic path is incremental ≥ 10× faster than the rebuild.
+// Part of the bench-mbf tier; IncrementalUpdate is pinned by bench-gate.
+
+import (
+	"sync"
+	"testing"
+
+	"parmbf/internal/graph"
+	"parmbf/internal/par"
+)
+
+var updateFix struct {
+	once sync.Once
+	d    *DynamicEnsemble
+	edge graph.Edge
+	err  error
+}
+
+func updateFixture(b *testing.B) *DynamicEnsemble {
+	b.Helper()
+	updateFix.once.Do(func() {
+		g := graph.RandomConnected(4096, 16384, 10, par.NewRNG(3))
+		updateFix.d, updateFix.err = NewDynamicEnsemble(g, 16, par.NewRNG(4), nil)
+		if updateFix.err == nil {
+			updateFix.edge = g.Edges()[1234]
+		}
+	})
+	if updateFix.err != nil {
+		b.Fatal(updateFix.err)
+	}
+	return updateFix.d
+}
+
+func BenchmarkIncrementalUpdate(b *testing.B) {
+	d := updateFixture(b)
+	e := updateFix.edge
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Alternate the weight so every iteration is a real edit (half of
+		// them decreases, half non-monotone increases).
+		w := e.Weight / 2
+		if i%2 == 1 {
+			w = e.Weight
+		}
+		if _, err := d.ApplyEdits([]graph.Edit{
+			{Op: graph.EditReweight, U: e.U, V: e.V, Weight: w},
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := d.Ensemble().Index(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIncrementalUpdateBaseline is the cost the incremental path
+// replaces: a full rebuild of the same ensemble (frozen randomness) plus
+// reindex, after the same single-edge edit.
+func BenchmarkIncrementalUpdateBaseline(b *testing.B) {
+	d := updateFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ref, err := NewDynamicEnsembleWith(d.Graph(), d.orders, d.betas, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ref.Ensemble().Index(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

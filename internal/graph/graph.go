@@ -159,10 +159,21 @@ func (g *Graph) Clone() *Graph {
 }
 
 // Builder returns a new Builder pre-seeded with g's edges — the idiom for
-// "g plus extra edges" now that graphs are immutable (hop sets, overlays).
+// "g plus extra edges" now that graphs are immutable (hop sets, overlays,
+// the live-update extend-and-refreeze loop). The edge slice is allocated
+// once with headroom for the edges the caller is about to Add and filled
+// straight off the CSR rows, so the hot update path pays neither the
+// intermediate Edges() allocation nor O(m) append regrowth copies.
 func (g *Graph) Builder() *Builder {
 	b := NewBuilder(g.N())
-	b.edges = append(b.edges, g.Edges()...)
+	b.edges = make([]Edge, 0, g.m+g.m/8+16)
+	for u := 0; u < g.N(); u++ {
+		for _, a := range g.Neighbors(Node(u)) {
+			if Node(u) < a.To {
+				b.edges = append(b.edges, Edge{U: Node(u), V: a.To, Weight: a.Weight})
+			}
+		}
+	}
 	return b
 }
 

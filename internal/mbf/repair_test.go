@@ -1,0 +1,107 @@
+package mbf
+
+// Differential tests of RunToFixpointFrom, the incremental-repair entry
+// point: resuming an old fixpoint on a decrease-edited graph from the edited
+// endpoints must land on exactly the fixpoint a fresh run computes on the
+// edited graph, across the parallel-width sweep, and must report the true
+// changed set. Runs in the short and -race tiers.
+
+import (
+	"testing"
+
+	"parmbf/internal/graph"
+	"parmbf/internal/par"
+	"parmbf/internal/semiring"
+)
+
+func repairRunner(g *graph.Graph) *Runner[float64, semiring.DistMap] {
+	return &Runner[float64, semiring.DistMap]{
+		Graph:         g,
+		Module:        semiring.DistMapModule{},
+		Filter:        semiring.TopKFilter(4, semiring.Inf, nil),
+		FilterInPlace: semiring.TopKFilterInPlace(4, semiring.Inf, nil),
+		Weight:        MinPlusWeight,
+	}
+}
+
+func TestRunToFixpointFromDecreaseMatchesFresh(t *testing.T) {
+	defer func(p int) { par.MaxProcs = p }(par.MaxProcs)
+	for _, seed := range []uint64{21, 22, 23} {
+		rng := par.NewRNG(seed)
+		g := graph.RandomConnected(48, 140, 8, rng)
+		x0 := make([]semiring.DistMap, g.N())
+		for v := range x0 {
+			x0[v] = semiring.SingletonDist(graph.Node(v), 0)
+		}
+		old, _ := repairRunner(g).RunToFixpoint(append([]semiring.DistMap(nil), x0...), g.N())
+
+		// Halve the weight of a random existing edge — a decrease-only edit.
+		edges := g.Edges()
+		e := edges[rng.Intn(len(edges))]
+		g2, _, err := graph.ApplyEdits(g, []graph.Edit{
+			{Op: graph.EditReweight, U: e.U, V: e.V, Weight: e.Weight / 2},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := repairRunner(g2).RunToFixpoint(append([]semiring.DistMap(nil), x0...), g2.N())
+
+		snap := make([]semiring.DistMap, len(old))
+		for v := range old {
+			snap[v] = old[v].Clone()
+		}
+		for _, procs := range maxProcsVariants() {
+			par.MaxProcs = procs
+			r2 := repairRunner(g2)
+			got, changed, _ := r2.RunToFixpointFrom(old, []graph.Node{e.U, e.V}, g2.N())
+			for v := range want {
+				if !r2.Module.Equal(got[v], want[v]) {
+					t.Fatalf("seed %d MaxProcs=%d node %d: repaired %v, fresh %v", seed, procs, v, got[v], want[v])
+				}
+			}
+			// The changed set must be exactly the nodes whose state moved.
+			isChanged := make(map[graph.Node]bool, len(changed))
+			for _, v := range changed {
+				if isChanged[v] {
+					t.Fatalf("seed %d: node %d reported changed twice", seed, v)
+				}
+				isChanged[v] = true
+			}
+			for v := range want {
+				if moved := !r2.Module.Equal(old[v], want[v]); moved && !isChanged[graph.Node(v)] {
+					t.Fatalf("seed %d: node %d changed but was not reported", seed, v)
+				}
+			}
+			// The input vector must not have been mutated (the published-
+			// state aliasing contract: repairs allocate, never edit in
+			// place).
+			for v := range old {
+				if !r2.Module.Equal(old[v], snap[v]) {
+					t.Fatalf("seed %d: input state %d mutated", seed, v)
+				}
+			}
+		}
+	}
+}
+
+// TestRunToFixpointFromNoopSeeds pins the O(affected) guarantee's base case:
+// seeding a valid fixpoint at arbitrary nodes must converge in one
+// confirming iteration with nothing changed.
+func TestRunToFixpointFromNoopSeeds(t *testing.T) {
+	g := graph.RandomConnected(32, 90, 8, par.NewRNG(31))
+	r := repairRunner(g)
+	x0 := make([]semiring.DistMap, g.N())
+	for v := range x0 {
+		x0[v] = semiring.SingletonDist(graph.Node(v), 0)
+	}
+	fix, _ := r.RunToFixpoint(append([]semiring.DistMap(nil), x0...), g.N())
+	got, changed, iters := r.RunToFixpointFrom(fix, []graph.Node{0, 5, 31}, g.N())
+	if len(changed) != 0 || iters != 1 {
+		t.Fatalf("no-op repair: %d nodes changed in %d iterations, want 0 in 1", len(changed), iters)
+	}
+	for v := range fix {
+		if !r.Module.Equal(got[v], fix[v]) {
+			t.Fatalf("no-op repair moved node %d", v)
+		}
+	}
+}
