@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet fmt-check test test-short test-race fuzz-short cover bench bench-ensemble bench-graph bench-mbf bench-semiring bench-oracle bench-scale bench-gate bench-scale-gate scale-smoke profile-mbf ci
+.PHONY: build vet fmt-check test test-short test-race fuzz-short cover bench bench-ensemble bench-graph bench-mbf bench-semiring bench-oracle bench-apps bench-scale bench-gate bench-scale-gate scale-smoke profile-mbf ci
 
 build:
 	$(GO) build ./...
@@ -36,10 +36,11 @@ fuzz-short:
 	$(GO) test ./internal/graph/ -run xxx -fuzz FuzzApplyUpdates -fuzztime 10s
 
 ## Coverage floor: the short tier under -coverprofile must not drop below
-## COVER_MIN, measured at the scale-tier branch point (82.0% with a 0.2pt
-## allowance for run-to-run jitter). Raise the pin when coverage grows;
+## COVER_MIN, measured at the application-tier branch point (83.0% with a
+## 0.5pt allowance for run-to-run jitter — the fleet fault-injection tests
+## take timing-dependent branches). Raise the pin when coverage grows;
 ## never lower it to make a PR pass.
-COVER_MIN ?= 81.8
+COVER_MIN ?= 82.5
 cover:
 	$(GO) test -short -covermode=atomic -coverprofile=coverage.out ./...
 	@total=$$($(GO) tool cover -func=coverage.out | tail -n 1 | awk '{print $$3}' | tr -d '%'); \
@@ -105,6 +106,20 @@ bench-oracle:
 		--arg commit "$$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
 		'{date: $$date, commit: $$commit, bench: .}' >> BENCH_oracle.json
 
+## Application-tier benchmarks: k-median candidate evaluation on the batched
+## OracleIndex kernel vs the seed-era per-center Dijkstra loop (the measured
+## rebase speedup), the full k-median and buy-at-bulk solves on a pre-drawn
+## ensemble, and oblivious routing (table build + 256-route query batches);
+## each run appends one JSON line to BENCH_apps.json.
+bench-apps:
+	@out="$$($(GO) test ./internal/apps/kmedian/ ./internal/apps/buyatbulk/ ./internal/apps/routing/ -run xxx -bench 'KMedianEval|KMedianSolve|BuyAtBulkSolve|RoutingTables|RouteQueryBatch' -benchmem -timeout 30m)" \
+		|| { echo "$$out"; echo "bench-apps: go test failed"; exit 1; }; \
+	echo "$$out"; \
+	echo "$$out" | grep '^Benchmark' | jq -R . | jq -sc \
+		--arg date "$$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+		--arg commit "$$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+		'{date: $$date, commit: $$commit, bench: .}' >> BENCH_apps.json
+
 ## Million-node scale tier: generators, the Freeze serial-vs-parallel A/B
 ## pair, LE lists, and tree assembly at n = 2^16 and (via PARMBF_SCALE=1)
 ## 2^20, plus the K=2 end-to-end embedder draw at 2^16. Appends one entry to
@@ -143,6 +158,7 @@ bench-gate:
 	$(GO) run ./cmd/benchgate -file BENCH_mbf.json -match 'Iterate4096|SourceDetection4096|SourceDetectionBatch8|IncrementalUpdate-' -max 1.20
 	$(GO) run ./cmd/benchgate -file BENCH_oracle.json -match 'OracleIndexMinBatch4096|SnapshotLoad4096|FleetBatch1024' -max 1.20
 	$(GO) run ./cmd/benchgate -file BENCH_semiring.json -match 'MergeKernel/' -max 1.20
+	$(GO) run ./cmd/benchgate -file BENCH_apps.json -match 'KMedianEvalIndex|KMedianSolve|BuyAtBulkSolve|RouteQueryBatch' -max 1.20
 
 ## Scale-tier gate: wider ns/op budget (single 1x runs are noisier than the
 ## averaged core tier) plus a B/op ceiling — at 10^6 nodes a 15% allocation

@@ -78,7 +78,7 @@ func benchPost(b *testing.B, hc *http.Client, url, body string) {
 // loopback HTTP included.
 func BenchmarkServerBatch1024(b *testing.B) {
 	ens, meta, body := fleetFixture(b)
-	s, err := newServer(ens, meta, nil)
+	s, err := newServer(nil, ens, meta, nil)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -100,7 +100,7 @@ func BenchmarkFleetBatch1024(b *testing.B) {
 	ens, meta, body := fleetFixture(b)
 	var urls []string
 	for i := 0; i < 3; i++ {
-		ws, err := newServer(ens, meta, nil)
+		ws, err := newServer(nil, ens, meta, nil)
 		if err != nil {
 			b.Fatal(err)
 		}

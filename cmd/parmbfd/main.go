@@ -32,6 +32,18 @@
 //	GET  /dist?u=4&v=9[&stat=median]    one estimate (default stat=min)
 //	POST /batch                         {"pairs":[[u,v],…],"stat":"min"}
 //	                                    → {"dists":[…]}
+//	POST /kmedian                       {"k":4,"seed":7} → centers + exact
+//	                                    cost (router: per-tree shard fan-out,
+//	                                    cheapest plan wins)
+//	POST /buyatbulk                     {"demands":[…],"cables":[…]} →
+//	                                    purchase plan + cost
+//	POST /route                         {"pairs":[[u,v],…]} → walkable paths
+//	                                    with tree certificates
+//
+// Scenario endpoints need the source graph, so a server started with -load
+// alone answers them 409 scenario_unavailable; build-and-serve (or
+// -dynamic) servers answer them, and the router proxies /buyatbulk and
+// /route round-robin with the usual failover.
 //
 // Workers additionally answer the partial-ensemble query the router fans
 // out: {"stat":"pertree","trees":[lo,hi]} returns the individual tree
@@ -41,9 +53,12 @@
 // See the README's serving section for the code list.
 //
 // Load-generating client (measures server-side batched throughput; -json
-// appends a machine-readable summary line, e.g. for BENCH_oracle.json):
+// appends a machine-readable summary line, e.g. for BENCH_oracle.json;
+// -mode picks the workload: batch distance queries or the kmedian /
+// buyatbulk / route scenario endpoints):
 //
 //	parmbfd -client -target http://localhost:8337 -requests 200 -batch 256 -concurrency 8
+//	parmbfd -client -target http://localhost:8337 -mode route -requests 50 -batch 128
 package main
 
 import (
@@ -53,6 +68,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -65,6 +81,7 @@ import (
 	"syscall"
 	"time"
 
+	"parmbf/internal/apps/routing"
 	"parmbf/internal/frt"
 	"parmbf/internal/graph"
 	"parmbf/internal/par"
@@ -103,6 +120,7 @@ func main() {
 		healthEvery   = flag.Duration("health-interval", 2*time.Second, "worker health-probe interval (router mode)")
 
 		client      = flag.Bool("client", false, "run as load-generating client instead of server")
+		mode        = flag.String("mode", "batch", "client workload: batch | kmedian | buyatbulk | route (client mode)")
 		target      = flag.String("target", "http://localhost:8337", "server URL (client mode)")
 		requests    = flag.Int("requests", 100, "batch requests to send (client mode)")
 		batch       = flag.Int("batch", 256, "pairs per batch request (client mode)")
@@ -117,7 +135,7 @@ func main() {
 	}
 
 	if *client {
-		if err := runClient(*target, *requests, *batch, *concurrency, *seed, *jsonOut); err != nil {
+		if err := runClient(*target, *mode, *requests, *batch, *concurrency, *seed, *jsonOut); err != nil {
 			fail(err)
 		}
 		return
@@ -144,6 +162,7 @@ func main() {
 		ens  *frt.Ensemble
 		meta frt.SnapshotMeta
 		dyn  *frt.DynamicEnsemble
+		g    *graph.Graph
 	)
 	start := time.Now()
 	switch {
@@ -162,7 +181,8 @@ func main() {
 			*load, meta.GraphNodes, meta.GraphEdges, len(ens.Trees), time.Since(start).Round(time.Millisecond))
 	case *dynamic:
 		rng := par.NewRNG(*seed)
-		g, err := loadGraph(*in, *gen, *n, *m, rng)
+		var err error
+		g, err = loadGraph(*in, *gen, *n, *m, rng)
 		if err != nil {
 			fail(err)
 		}
@@ -175,7 +195,8 @@ func main() {
 		fmt.Printf("pipeline (direct, dynamic): K=%d trees built in %v\n", len(ens.Trees), time.Since(start).Round(time.Millisecond))
 	default:
 		rng := par.NewRNG(*seed)
-		g, err := loadGraph(*in, *gen, *n, *m, rng)
+		var err error
+		g, err = loadGraph(*in, *gen, *n, *m, rng)
 		if err != nil {
 			fail(err)
 		}
@@ -195,7 +216,7 @@ func main() {
 		fmt.Printf("snapshot saved to %s in %v\n", *save, time.Since(t0).Round(time.Millisecond))
 	}
 	t0 := time.Now()
-	s, err := newServer(ens, meta, dyn)
+	s, err := newServer(g, ens, meta, dyn)
 	if err != nil {
 		fail(err)
 	}
@@ -289,6 +310,12 @@ type serverState struct {
 	version int64
 	idx     *frt.OracleIndex
 	ens     *frt.Ensemble
+	// g is the embedded graph, retained only when the server built (or was
+	// handed) it — the application scenarios (/kmedian, /buyatbulk, /route)
+	// need the graph itself, not just the trees. A snapshot-loaded server has
+	// g == nil and answers those endpoints with scenario_unavailable; pure
+	// distance serving never touches g.
+	g *graph.Graph
 }
 
 // server holds the current serving snapshot and the query counters. Each
@@ -303,6 +330,13 @@ type server struct {
 
 	dyn      *frt.DynamicEnsemble // nil: static server, /update answers 409
 	updateMu sync.Mutex           // serialises POST /update end to end
+
+	// scenarioMu guards the lazily built oblivious-routing tables; they are
+	// keyed by the serving-state version, so an /update invalidates them and
+	// the next /route rebuilds against the new trees.
+	scenarioMu    sync.Mutex
+	routeTables   *routing.Tables
+	routeTablesAt int64
 
 	queries atomic.Int64 // pairs answered
 	batches atomic.Int64 // /batch requests served
@@ -328,14 +362,16 @@ func buildEnsemble(g *graph.Graph, trees int, rng *par.RNG) (*frt.Ensemble, frt.
 
 // newServer indexes the ensemble and wires the handler state. It serves
 // identically whether ens was freshly sampled or loaded from a snapshot;
-// passing a non-nil dyn additionally enables POST /update.
-func newServer(ens *frt.Ensemble, meta frt.SnapshotMeta, dyn *frt.DynamicEnsemble) (*server, error) {
+// passing a non-nil dyn additionally enables POST /update, and passing the
+// embedded graph g enables the application-scenario endpoints (nil g — the
+// snapshot-loaded case — makes them answer scenario_unavailable).
+func newServer(g *graph.Graph, ens *frt.Ensemble, meta frt.SnapshotMeta, dyn *frt.DynamicEnsemble) (*server, error) {
 	idx, err := ens.Index()
 	if err != nil {
 		return nil, err
 	}
 	s := &server{dyn: dyn, started: time.Now()}
-	s.state.Store(&serverState{n: idx.NumLeaves(), m: meta.GraphEdges, idx: idx, ens: ens})
+	s.state.Store(&serverState{n: idx.NumLeaves(), m: meta.GraphEdges, idx: idx, ens: ens, g: g})
 	s.bufs.New = func() any { b := make([]float64, 0, 1024); return &b }
 	return s, nil
 }
@@ -347,6 +383,9 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("GET /dist", s.handleDist)
 	mux.HandleFunc("POST /batch", s.handleBatch)
 	mux.HandleFunc("POST /update", s.handleUpdate)
+	mux.HandleFunc("POST /kmedian", s.handleKMedian)
+	mux.HandleFunc("POST /buyatbulk", s.handleBuyAtBulk)
+	mux.HandleFunc("POST /route", s.handleRoute)
 	return mux
 }
 
@@ -357,17 +396,18 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	st := s.state.Load()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"mode":     "server",
-		"dynamic":  s.dyn != nil,
-		"nodes":    st.n,
-		"edges":    st.m,
-		"trees":    st.idx.NumTrees(),
-		"maxDepth": st.idx.MaxDepth(),
-		"version":  st.version,
-		"queries":  s.queries.Load(),
-		"batches":  s.batches.Load(),
-		"updates":  s.updates.Load(),
-		"uptimeMs": time.Since(s.started).Milliseconds(),
+		"mode":      "server",
+		"dynamic":   s.dyn != nil,
+		"scenarios": st.g != nil,
+		"nodes":     st.n,
+		"edges":     st.m,
+		"trees":     st.idx.NumTrees(),
+		"maxDepth":  st.idx.MaxDepth(),
+		"version":   st.version,
+		"queries":   s.queries.Load(),
+		"batches":   s.batches.Load(),
+		"updates":   s.updates.Load(),
+		"uptimeMs":  time.Since(s.started).Milliseconds(),
 	})
 }
 
@@ -520,6 +560,8 @@ const (
 	errUpdateUnsupported   = "update_unsupported"
 	errOverloaded          = "overloaded"
 	errUpstreamUnavailable = "upstream_unavailable"
+	errBadScenario         = "bad_scenario"
+	errScenarioUnavailable = "scenario_unavailable"
 )
 
 // writeDecodeError classifies a JSON-decode failure: a body that tripped
@@ -562,6 +604,7 @@ func writeError(w http.ResponseWriter, status int, code, msg string, details map
 type clientSummary struct {
 	Date          string  `json:"date"`
 	Target        string  `json:"target"`
+	Mode          string  `json:"mode"`
 	Requests      int     `json:"requests"`
 	Batch         int     `json:"batch"`
 	Concurrency   int     `json:"concurrency"`
@@ -574,11 +617,13 @@ type clientSummary struct {
 	MaxUs         int64   `json:"maxus"`
 }
 
-// runClient floods the target's /batch endpoint with random-pair batches
-// from `concurrency` connections and reports throughput and latency
-// quantiles — the load harness for both a single server and a router-fronted
-// fleet (the API is identical).
-func runClient(target string, requests, batch, concurrency int, seed uint64, jsonOut string) error {
+// runClient floods one target endpoint — selected by -mode — with pre-drawn
+// request bodies from `concurrency` connections and reports throughput and
+// latency quantiles. It is the load harness for both a single server and a
+// router-fronted fleet (the API is identical): "batch" floods /batch with
+// random pairs, "kmedian"/"buyatbulk"/"route" flood the application-scenario
+// endpoints with random instances.
+func runClient(target, mode string, requests, batch, concurrency int, seed uint64, jsonOut string) error {
 	if requests < 1 || batch < 1 || concurrency < 1 {
 		return fmt.Errorf("-requests, -batch, and -concurrency must all be ≥ 1 (got %d, %d, %d)",
 			requests, batch, concurrency)
@@ -602,21 +647,12 @@ func runClient(target string, requests, batch, concurrency int, seed uint64, jso
 	if n < 2 {
 		return fmt.Errorf("server graph too small: n=%d", n)
 	}
-	fmt.Printf("target %s: n=%d trees=%d\n", target, n, stats.Trees)
+	fmt.Printf("target %s: n=%d trees=%d mode=%s\n", target, n, stats.Trees, mode)
 
 	// Pre-draw every request body so the measured loop is pure I/O + server.
-	rng := par.NewRNG(seed)
-	bodies := make([][]byte, requests)
-	for i := range bodies {
-		req := batchRequest{Pairs: make([][2]int64, batch), Stat: "min"}
-		for j := range req.Pairs {
-			req.Pairs[j] = [2]int64{int64(rng.Intn(n)), int64(rng.Intn(n))}
-		}
-		b, err := json.Marshal(req)
-		if err != nil {
-			return err
-		}
-		bodies[i] = b
+	path, bodies, check, err := buildWorkload(mode, par.NewRNG(seed), n, requests, batch)
+	if err != nil {
+		return err
 	}
 
 	latencies := make([]time.Duration, requests)
@@ -634,7 +670,7 @@ func runClient(target string, requests, batch, concurrency int, seed uint64, jso
 					return
 				}
 				t0 := time.Now()
-				errs[i] = postBatch(hc, target, bodies[i], batch)
+				errs[i] = postChecked(hc, target+path, bodies[i], check)
 				latencies[i] = time.Since(t0)
 			}
 		}()
@@ -653,6 +689,7 @@ func runClient(target string, requests, batch, concurrency int, seed uint64, jso
 	sum := clientSummary{
 		Date:          time.Now().UTC().Format(time.RFC3339),
 		Target:        target,
+		Mode:          mode,
 		Requests:      requests,
 		Batch:         batch,
 		Concurrency:   concurrency,
@@ -725,23 +762,139 @@ func fetchStats(hc *http.Client, target string) (*statsResponse, error) {
 	return &s, nil
 }
 
-func postBatch(hc *http.Client, target string, body []byte, wantDists int) error {
-	resp, err := hc.Post(target+"/batch", "application/json", bytes.NewReader(body))
+// buildWorkload pre-draws `requests` bodies for one client -mode and returns
+// the endpoint path plus a response check. batch sizes the instances: pairs
+// per /batch and /route request, demands per /buyatbulk request; /kmedian
+// solves once per request with a varying seed, so batch is ignored there.
+func buildWorkload(mode string, rng *par.RNG, n, requests, batch int) (string, [][]byte, func(status int, data []byte) error, error) {
+	bodies := make([][]byte, requests)
+	fill := func(body func(i int) any) error {
+		for i := range bodies {
+			b, err := json.Marshal(body(i))
+			if err != nil {
+				return err
+			}
+			bodies[i] = b
+		}
+		return nil
+	}
+	randomPairs := func(count int) [][2]int64 {
+		pairs := make([][2]int64, count)
+		for j := range pairs {
+			pairs[j] = [2]int64{int64(rng.Intn(n)), int64(rng.Intn(n))}
+		}
+		return pairs
+	}
+	switch mode {
+	case "batch":
+		err := fill(func(int) any {
+			return batchRequest{Pairs: randomPairs(batch), Stat: "min"}
+		})
+		check := func(status int, data []byte) error {
+			var br batchResponse
+			if err := checkOK(status, data, &br); err != nil {
+				return err
+			}
+			if len(br.Dists) != batch {
+				return fmt.Errorf("got %d dists, want %d", len(br.Dists), batch)
+			}
+			return nil
+		}
+		return "/batch", bodies, check, err
+	case "kmedian":
+		k := 8
+		if k > n {
+			k = n
+		}
+		err := fill(func(i int) any {
+			return kmedianRequest{K: k, Seed: uint64(i + 1)}
+		})
+		check := func(status int, data []byte) error {
+			var kr kmedianResponse
+			if err := checkOK(status, data, &kr); err != nil {
+				return err
+			}
+			if len(kr.Centers) != k {
+				return fmt.Errorf("got %d centers, want %d", len(kr.Centers), k)
+			}
+			return nil
+		}
+		return "/kmedian", bodies, check, err
+	case "buyatbulk":
+		// A fixed three-tier economies-of-scale catalogue; demands are random
+		// unit-ish flows, so every request exercises the LCA flow accumulation
+		// and the cable loader.
+		cables := []wireCable{{Capacity: 1, Cost: 1}, {Capacity: 4, Cost: 2.5}, {Capacity: 16, Cost: 6}}
+		err := fill(func(int) any {
+			demands := make([]wireDemand, batch)
+			for j := range demands {
+				demands[j] = wireDemand{
+					S:      int64(rng.Intn(n)),
+					T:      int64(rng.Intn(n)),
+					Amount: 1 + rng.Float64()*3,
+				}
+			}
+			return buyAtBulkRequest{Demands: demands, Cables: cables}
+		})
+		check := func(status int, data []byte) error {
+			var br buyAtBulkResponse
+			if err := checkOK(status, data, &br); err != nil {
+				return err
+			}
+			if br.Cost <= 0 {
+				return fmt.Errorf("non-positive cost %g", br.Cost)
+			}
+			return nil
+		}
+		return "/buyatbulk", bodies, check, err
+	case "route":
+		pairs := batch
+		if pairs > maxRoutePairs {
+			pairs = maxRoutePairs
+		}
+		err := fill(func(int) any {
+			return routeRequest{Pairs: randomPairs(pairs)}
+		})
+		check := func(status int, data []byte) error {
+			var rr routeResponse
+			if err := checkOK(status, data, &rr); err != nil {
+				return err
+			}
+			if len(rr.Routes) != pairs {
+				return fmt.Errorf("got %d routes, want %d", len(rr.Routes), pairs)
+			}
+			return nil
+		}
+		return "/route", bodies, check, err
+	default:
+		return "", nil, nil, fmt.Errorf("-mode must be batch, kmedian, buyatbulk, or route (got %q)", mode)
+	}
+}
+
+// checkOK decodes a 200 response into out, surfacing the structured error
+// code on anything else.
+func checkOK(status int, data []byte, out any) error {
+	if status != http.StatusOK {
+		var er errorResponse
+		if json.Unmarshal(data, &er) == nil && er.Error.Code != "" {
+			return fmt.Errorf("status %d: %s (%s)", status, er.Error.Message, er.Error.Code)
+		}
+		return fmt.Errorf("status %d", status)
+	}
+	return json.Unmarshal(data, out)
+}
+
+func postChecked(hc *http.Client, url string, body []byte, check func(status int, data []byte) error) error {
+	resp, err := hc.Post(url, "application/json", bytes.NewReader(body))
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("POST /batch: %s", resp.Status)
-	}
-	var br batchResponse
-	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
 		return err
 	}
-	if len(br.Dists) != wantDists {
-		return fmt.Errorf("got %d dists, want %d", len(br.Dists), wantDists)
-	}
-	return nil
+	return check(resp.StatusCode, data)
 }
 
 func loadGraph(in, gen string, n, m int, rng *par.RNG) (*graph.Graph, error) {

@@ -23,7 +23,7 @@ func testServer(t *testing.T) (*server, *httptest.Server, *graph.Graph, *frt.Ens
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := newServer(ens, meta, nil)
+	s, err := newServer(g, ens, meta, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,7 +275,7 @@ func TestServerFromSnapshotMatchesBuilt(t *testing.T) {
 	if meta2 != meta {
 		t.Fatalf("snapshot meta %+v, want %+v", meta2, meta)
 	}
-	s2, err := newServer(ens2, meta2, nil)
+	s2, err := newServer(nil, ens2, meta2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -298,10 +298,10 @@ func TestServerFromSnapshotMatchesBuilt(t *testing.T) {
 func TestClientAgainstServer(t *testing.T) {
 	_, ts, _, _ := testServer(t)
 	out := filepath.Join(t.TempDir(), "client.json")
-	if err := runClient(ts.URL, 8, 16, 2, 3, out); err != nil {
+	if err := runClient(ts.URL, "batch", 8, 16, 2, 3, out); err != nil {
 		t.Fatal(err)
 	}
-	if err := runClient(ts.URL, 8, 16, 2, 3, out); err != nil {
+	if err := runClient(ts.URL, "batch", 8, 16, 2, 3, out); err != nil {
 		t.Fatal(err)
 	}
 	b, err := os.ReadFile(out)
@@ -334,16 +334,16 @@ func TestClientReportsServerErrors(t *testing.T) {
 	})
 	ts := httptest.NewServer(mux)
 	defer ts.Close()
-	if err := runClient(ts.URL, 4, 8, 2, 3, ""); err == nil {
+	if err := runClient(ts.URL, "batch", 4, 8, 2, 3, ""); err == nil {
 		t.Fatal("client reported success against a failing /batch")
 	}
-	if err := runClient("http://127.0.0.1:1", 1, 1, 1, 1, ""); err == nil {
+	if err := runClient("http://127.0.0.1:1", "batch", 1, 1, 1, 1, ""); err == nil {
 		t.Fatal("client reported success against a dead target")
 	}
-	if err := runClient(ts.URL, 0, 8, 2, 3, ""); err == nil {
+	if err := runClient(ts.URL, "batch", 0, 8, 2, 3, ""); err == nil {
 		t.Fatal("-requests 0 accepted")
 	}
-	if err := runClient(ts.URL, 4, -1, 2, 3, ""); err == nil {
+	if err := runClient(ts.URL, "batch", 4, -1, 2, 3, ""); err == nil {
 		t.Fatal("negative -batch accepted")
 	}
 }

@@ -204,6 +204,9 @@ func (rt *router) mux() *http.ServeMux {
 	mux.HandleFunc("GET /dist", rt.handleDist)
 	mux.HandleFunc("POST /batch", rt.handleBatch)
 	mux.HandleFunc("POST /update", rt.handleUpdate)
+	mux.HandleFunc("POST /kmedian", rt.handleKMedian)
+	mux.HandleFunc("POST /buyatbulk", rt.handleBuyAtBulk)
+	mux.HandleFunc("POST /route", rt.handleRoute)
 	return mux
 }
 

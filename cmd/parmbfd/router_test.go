@@ -25,7 +25,7 @@ func testFleet(t *testing.T, workers int, attemptTimeout, healthEvery time.Durat
 	if err != nil {
 		t.Fatal(err)
 	}
-	ref, err := newServer(ens, meta, nil)
+	ref, err := newServer(g, ens, meta, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +34,7 @@ func testFleet(t *testing.T, workers int, attemptTimeout, healthEvery time.Durat
 		tss  []*httptest.Server
 	)
 	for i := 0; i < workers; i++ {
-		ws, err := newServer(ens, meta, nil)
+		ws, err := newServer(g, ens, meta, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -273,8 +273,8 @@ func TestRouterShutdownLeaksNoGoroutines(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ws1, _ := newServer(ens, meta, nil)
-	ws2, _ := newServer(ens, meta, nil)
+	ws1, _ := newServer(g, ens, meta, nil)
+	ws2, _ := newServer(g, ens, meta, nil)
 	ts1 := httptest.NewServer(ws1.mux())
 	ts2 := httptest.NewServer(ws2.mux())
 	rt, err := newRouter([]string{ts1.URL, ts2.URL}, 4, 300*time.Millisecond, 20*time.Millisecond)

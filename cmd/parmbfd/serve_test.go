@@ -1,0 +1,70 @@
+package main
+
+import (
+	"errors"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+
+	"parmbf/internal/graph"
+	"parmbf/internal/par"
+)
+
+func TestListenAndServeBadAddr(t *testing.T) {
+	if err := listenAndServe("256.256.256.256:0", nil, time.Second, nil); err == nil {
+		t.Fatal("unlistenable address accepted")
+	}
+}
+
+func TestListenAndServeStopsOnSignal(t *testing.T) {
+	stopped := make(chan struct{})
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- listenAndServe("127.0.0.1:0", nil, time.Second, func() { close(stopped) })
+	}()
+	// Let the listener come up before signalling, so the signal reaches the
+	// serve loop rather than a not-yet-installed handler.
+	time.Sleep(100 * time.Millisecond)
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("signal-initiated exit returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("listenAndServe did not stop on SIGINT")
+	}
+	<-stopped
+}
+
+func TestBuildEnsembleErrors(t *testing.T) {
+	if _, _, err := buildEnsemble(graph.NewBuilder(0).Freeze(), 2, par.NewRNG(1)); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+	g := graph.PathGraph(4, 1)
+	if _, _, err := buildEnsemble(g, 0, par.NewRNG(1)); err == nil {
+		t.Fatal("zero trees accepted")
+	}
+}
+
+func TestAppendJSONLineErrors(t *testing.T) {
+	if err := appendJSONLine(t.TempDir(), map[string]int{"a": 1}); err == nil {
+		t.Fatal("writing to a directory path succeeded")
+	}
+	if err := appendJSONLine(t.TempDir()+"/out.jsonl", make(chan int)); err == nil {
+		t.Fatal("unmarshalable value accepted")
+	}
+}
+
+func TestFirstError(t *testing.T) {
+	if err := firstError([]error{nil, nil}); err != nil {
+		t.Fatalf("all-nil slice: %v", err)
+	}
+	want := errors.New("boom")
+	if err := firstError([]error{nil, want, errors.New("later")}); err != want {
+		t.Fatalf("got %v, want the first non-nil error", err)
+	}
+}

@@ -109,7 +109,8 @@ func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	old := s.state.Load()
-	st := &serverState{n: old.n, m: s.dyn.Graph().M(), version: old.version + 1, ens: s.dyn.Ensemble()}
+	st := &serverState{n: old.n, m: s.dyn.Graph().M(), version: old.version + 1,
+		ens: s.dyn.Ensemble(), g: s.dyn.Graph()}
 	st.idx, err = st.ens.Index()
 	if err != nil {
 		// Repair succeeded but indexing failed — the old snapshot keeps

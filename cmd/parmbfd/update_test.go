@@ -26,7 +26,7 @@ func testDynamicServer(t *testing.T) (*server, *httptest.Server, *frt.DynamicEns
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := newServer(dyn.Ensemble(), frt.SnapshotMeta{GraphNodes: g.N(), GraphEdges: g.M()}, dyn)
+	s, err := newServer(g, dyn.Ensemble(), frt.SnapshotMeta{GraphNodes: g.N(), GraphEdges: g.M()}, dyn)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +201,7 @@ func TestRouterForwardsUpdate(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ws, err := newServer(dyn.Ensemble(), frt.SnapshotMeta{GraphNodes: g.N(), GraphEdges: g.M()}, dyn)
+		ws, err := newServer(g, dyn.Ensemble(), frt.SnapshotMeta{GraphNodes: g.N(), GraphEdges: g.M()}, dyn)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,68 @@
+// Oblivious routing on a road-like network: precompute next-hop tables
+// from a sampled FRT tree ensemble, then answer point-to-point route
+// queries without ever running a shortest-path search at query time. Each
+// route is a walkable path in the original graph whose length is within
+// the ensemble's O(log n) stretch of the true distance.
+//
+//	go run ./examples/routing
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"parmbf"
+)
+
+func main() {
+	g := parmbf.RandomGeometric(300, 0.12, parmbf.NewRNG(9))
+	fmt.Printf("road network: n=%d m=%d\n", g.N(), g.M())
+
+	// One-time precomputation: sample 4 FRT trees and compile them into
+	// next-hop tables. Queries afterwards are table lookups only.
+	tables, err := parmbf.BuildRoutingTables(g, 4, 42)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("tables built over %d trees\n\n", tables.NumTrees())
+
+	// Route a few fixed pairs and show the path against the exact distance.
+	exact := parmbf.ExactAPSP(g)
+	for _, pq := range [][2]parmbf.Node{{0, 299}, {17, 250}, {60, 180}} {
+		r, err := tables.Route(pq[0], pq[1])
+		if err != nil {
+			panic(err)
+		}
+		if err := parmbf.ValidateRoute(g, pq[0], pq[1], r); err != nil {
+			panic(err) // every route is certified walkable
+		}
+		d := exact.At(int(pq[0]), int(pq[1]))
+		fmt.Printf("%3d -> %3d: %2d hops via tree %d, length %.3f (exact %.3f, stretch %.2f)\n",
+			pq[0], pq[1], len(r.Path)-1, r.Tree, r.Length, d, r.Length/d)
+	}
+
+	// Stretch statistics over a random batch: the median is typically far
+	// below the worst-case O(log n) guarantee.
+	rng := parmbf.NewRNG(7)
+	pairs := make([]parmbf.Pair, 200)
+	for i := range pairs {
+		u := parmbf.Node(rng.Intn(g.N()))
+		v := parmbf.Node(rng.Intn(g.N() - 1))
+		if v >= u {
+			v++
+		}
+		pairs[i] = parmbf.Pair{U: u, V: v}
+	}
+	routes, err := tables.RouteBatch(pairs)
+	if err != nil {
+		panic(err)
+	}
+	stretches := make([]float64, len(routes))
+	for i, r := range routes {
+		stretches[i] = r.Length / exact.At(int(pairs[i].U), int(pairs[i].V))
+	}
+	sort.Float64s(stretches)
+	fmt.Printf("\nstretch over %d random pairs: median %.2f, p90 %.2f, max %.2f\n",
+		len(stretches), stretches[len(stretches)/2],
+		stretches[len(stretches)*9/10], stretches[len(stretches)-1])
+}

@@ -2,12 +2,16 @@
 // of §10 of Friedrichs & Lenzen: an expected O(log n)-approximation
 // (Theorem 10.2) that
 //
-//	(1) embeds the graph into a sampled FRT tree,
+//	(1) embeds the graph into FRT trees drawn through the shared
+//	    frt.Embedder pipeline,
 //	(2) routes every demand along its unique tree path and buys, per tree
 //	    edge with accumulated flow d_e, the cable type minimising
-//	    c_i·⌈d_e/u_i⌉ (an O(1)-approximation on the tree), and
-//	(3) maps each tree edge back to a shortest path in G between the
-//	    cluster centers (§7.5), purchasing the same cables along it.
+//	    c_i·⌈d_e/u_i⌉ (an O(1)-approximation on the tree) — flows are
+//	    accumulated with an LCA-delta sweep over the TreeIndex instead of
+//	    per-demand lockstep walks, and
+//	(3) maps each loaded tree edge back to a shortest path in G between the
+//	    cluster centers (§7.5) by walking the next-hop tables of one
+//	    sparse-engine routing fixpoint, purchasing the same cables along it.
 //
 // The linearity of the objective in edge weights is what makes the FRT
 // stretch argument go through: an optimal solution in G induces a tree
@@ -18,9 +22,12 @@ package buyatbulk
 import (
 	"fmt"
 	"math"
+	"sort"
 
+	"parmbf/internal/apps/scenario"
 	"parmbf/internal/frt"
 	"parmbf/internal/graph"
+	"parmbf/internal/mbf"
 	"parmbf/internal/par"
 )
 
@@ -56,17 +63,16 @@ type Solution struct {
 	Flow map[[2]graph.Node]float64
 }
 
-// Options configures Solve.
-type Options struct {
-	// RNG is the randomness source (required).
-	RNG *par.RNG
-	// UseOracle selects the polylog-depth oracle pipeline for the tree
-	// sample (the paper's algorithm); false uses the direct LE-list
-	// computation on G.
-	UseOracle bool
-	// Tracker, if non-nil, is charged the work/depth.
-	Tracker *par.Tracker
-}
+// Options is the unified application-scenario configuration; see
+// scenario.Options. Solve draws Trees trees (default 1) through the shared
+// embedder pipeline unless an Embedder or Ensemble is injected; with several
+// trees the cheapest per-tree solution is returned.
+type Options = scenario.Options
+
+// defaultTrees is the number of trees Solve draws when Options does not say
+// otherwise. One tree is the algorithm of Theorem 10.2; more trees trade
+// work for the usual best-of-K boost.
+const defaultTrees = 1
 
 // bestCable returns the cable choice minimising cost·⌈flow/capacity⌉ per
 // unit of edge weight.
@@ -86,9 +92,6 @@ func bestCable(cables []CableType, flow float64) (idx, count int, costPerWeight 
 
 // Solve computes an expected O(log n)-approximate buy-at-bulk solution.
 func Solve(g *graph.Graph, demands []Demand, cables []CableType, opts Options) (*Solution, error) {
-	if opts.RNG == nil {
-		return nil, fmt.Errorf("buyatbulk: Options.RNG is required")
-	}
 	if len(cables) == 0 {
 		return nil, fmt.Errorf("buyatbulk: no cable types")
 	}
@@ -103,47 +106,73 @@ func Solve(g *graph.Graph, demands []Demand, cables []CableType, opts Options) (
 		}
 	}
 
-	var emb *frt.Embedding
-	var err error
-	if opts.UseOracle {
-		emb, err = frt.Sample(g, frt.Options{RNG: opts.RNG, Tracker: opts.Tracker})
-	} else {
-		emb, err = frt.SampleOnGraph(g, opts.RNG, opts.Tracker)
-	}
+	ens, err := opts.Resolve(g, defaultTrees)
 	if err != nil {
 		return nil, err
 	}
-	tree := emb.Tree
-
-	// (2) Route demands on the tree: accumulate flow per tree edge (keyed
-	// by the child endpoint).
-	flow := make([]float64, tree.NumNodes())
-	for _, d := range demands {
-		a, b := tree.Leaf[d.S], tree.Leaf[d.T]
-		for a != b {
-			flow[a] += d.Amount
-			flow[b] += d.Amount
-			a, b = tree.Parent[a], tree.Parent[b]
+	visit, err := opts.Visit(ens)
+	if err != nil {
+		return nil, err
+	}
+	var best *Solution
+	for _, tree := range visit {
+		sol, err := solveOnTree(g, tree, demands, cables, opts.Tracker)
+		if err != nil {
+			return nil, err
 		}
+		if best == nil || sol.Cost < best.Cost {
+			best = sol
+		}
+	}
+	return best, nil
+}
+
+// solveOnTree runs steps (2) and (3) against one sampled tree.
+func solveOnTree(g *graph.Graph, tree *frt.Tree, demands []Demand, cables []CableType, tracker *par.Tracker) (*Solution, error) {
+	tidx, err := frt.NewTreeIndex(tree)
+	if err != nil {
+		return nil, err
+	}
+	nt := tree.NumNodes()
+
+	// (2) Route demands on the tree: per demand, +amount at both leaves and
+	// −amount at their meeting height, then one children-before-parents
+	// subtree-sum pass turns the deltas into per-tree-edge flow (keyed by
+	// the child endpoint). O(|demands|·log depth + nt) total, replacing the
+	// seed-era O(|demands|·depth) per-pair lockstep walks.
+	delta := make([]float64, nt)
+	for _, d := range demands {
+		if d.S == d.T {
+			continue
+		}
+		h := tidx.MergeHeight(d.S, d.T)
+		delta[tidx.Ancestor(d.S, 0)] += d.Amount
+		delta[tidx.Ancestor(d.S, h)] -= d.Amount
+		delta[tidx.Ancestor(d.T, 0)] += d.Amount
+		delta[tidx.Ancestor(d.T, h)] -= d.Amount
+	}
+	flow := make([]float64, nt)
+	for _, u := range bottomUp(tree) {
+		p := tree.Parent[u]
+		if p == -1 {
+			continue
+		}
+		flow[u] = delta[u]
+		delta[p] += delta[u]
 	}
 
 	// (3) Buy cables per loaded tree edge and map them onto shortest
-	// center-to-center paths in G. Dijkstra results are cached per center.
-	sssp := map[graph.Node]*graph.SSSPResult{}
-	pathOf := func(from, to graph.Node) []graph.Node {
-		res, ok := sssp[from]
-		if !ok {
-			res = graph.Dijkstra(g, from)
-			sssp[from] = res
-			opts.Tracker.AddPhase(int64(g.M()+g.N()), 1)
-		}
-		return res.PathTo(to)
+	// center-to-center paths in G: one routing fixpoint towards the distinct
+	// parent centers builds next-hop tables for every source at once, and
+	// each path is materialised by walking Next pointers (§7.5's "nodes
+	// locally store the predecessor of shortest paths just like in APSP").
+	type load struct {
+		from, to graph.Node
+		flow     float64
 	}
-
-	type edgeKey = [2]graph.Node
-	counts := map[edgeKey]map[int]int{}
-	flowBy := map[edgeKey]float64{}
-	for child := int32(0); child < int32(tree.NumNodes()); child++ {
+	var loads []load
+	targetSet := map[graph.Node]bool{}
+	for child := int32(0); child < int32(nt); child++ {
 		f := flow[child]
 		p := tree.Parent[child]
 		if f <= 0 || p == -1 {
@@ -153,18 +182,34 @@ func Solve(g *graph.Graph, demands []Demand, cables []CableType, opts Options) (
 		if from == to {
 			continue // zero-length hop: nothing to buy
 		}
-		cable, count, _ := bestCable(cables, f)
-		path := pathOf(from, to)
-		if path == nil {
-			return nil, fmt.Errorf("buyatbulk: centers %d, %d disconnected", from, to)
+		loads = append(loads, load{from: from, to: to, flow: f})
+		targetSet[to] = true
+	}
+
+	type edgeKey = [2]graph.Node
+	counts := map[edgeKey]map[int]int{}
+	flowBy := map[edgeKey]float64{}
+	if len(loads) > 0 {
+		targets := make([]graph.Node, 0, len(targetSet))
+		for t := range targetSet {
+			targets = append(targets, t)
 		}
-		for i := 1; i < len(path); i++ {
-			k := orderedKey(path[i-1], path[i])
-			if counts[k] == nil {
-				counts[k] = map[int]int{}
+		sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+		tables := mbf.RoutingTablesTo(g, targets, tracker)
+		for _, l := range loads {
+			cable, count, _ := bestCable(cables, l.flow)
+			path := mbf.WalkRoute(tables, l.from, l.to)
+			if path == nil {
+				return nil, fmt.Errorf("buyatbulk: centers %d, %d disconnected", l.from, l.to)
 			}
-			counts[k][cable] += count
-			flowBy[k] += f
+			for i := 1; i < len(path); i++ {
+				k := orderedKey(path[i-1], path[i])
+				if counts[k] == nil {
+					counts[k] = map[int]int{}
+				}
+				counts[k][cable] += count
+				flowBy[k] += l.flow
+			}
 		}
 	}
 
@@ -180,6 +225,18 @@ func Solve(g *graph.Graph, demands []Demand, cables []CableType, opts Options) (
 		}
 	}
 	return sol, nil
+}
+
+// bottomUp returns the tree nodes ordered children-before-parents: FRT trees
+// have uniform leaf depth, so a node's level is a topological key (every
+// child sits exactly one level below its parent).
+func bottomUp(t *frt.Tree) []int32 {
+	order := make([]int32, t.NumNodes())
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(i, j int) bool { return t.Level[order[i]] < t.Level[order[j]] })
+	return order
 }
 
 func orderedKey(u, v graph.Node) [2]graph.Node {

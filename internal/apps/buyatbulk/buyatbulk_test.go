@@ -3,6 +3,7 @@ package buyatbulk
 import (
 	"testing"
 
+	"parmbf/internal/frt"
 	"parmbf/internal/graph"
 	"parmbf/internal/par"
 )
@@ -78,16 +79,34 @@ func TestSolveFeasibleAndPriced(t *testing.T) {
 	}
 }
 
-func TestSolveOraclePipeline(t *testing.T) {
+func TestSolveInjectedEnsemble(t *testing.T) {
 	rng := par.NewRNG(3)
 	g := graph.RandomConnected(40, 90, 5, rng)
+	emb, err := frt.NewEmbedder(g, frt.Options{RNG: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ens, err := emb.SampleEnsemble(3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	demands := []Demand{{S: 2, T: 35, Amount: 5}, {S: 7, T: 11, Amount: 50}}
-	sol, err := Solve(g, demands, testCables, Options{RNG: rng, UseOracle: true})
+	sol, err := Solve(g, demands, testCables, Options{Ensemble: ens})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := Validate(g, testCables, sol); err != nil {
 		t.Fatal(err)
+	}
+	// Best-of-ensemble cannot be worse than any single tree of the ensemble.
+	for i := 0; i < 3; i++ {
+		one, err := Solve(g, demands, testCables, Options{Ensemble: ens, FirstTree: i, Trees: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if one.Cost < sol.Cost-1e-9 {
+			t.Fatalf("single tree %d beats the ensemble: %v < %v", i, one.Cost, sol.Cost)
+		}
 	}
 }
 

@@ -1,0 +1,131 @@
+package kmedian
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"parmbf/internal/frt"
+	"parmbf/internal/graph"
+	"parmbf/internal/par"
+)
+
+// The bench fixture is one n=1024, m=16384 graph (mean degree 32) with a
+// K=4 ensemble — the regime in which the seed-era evaluation (one
+// multi-source Dijkstra per candidate center set, O(m log n) each) became
+// the k-median bottleneck. The oracle evaluation touches only the n × k
+// pair grid, so its cost is independent of edge density; EvalIndex vs
+// EvalDijkstra is the measured speedup of moving candidate evaluation onto
+// the batched OracleIndex kernel.
+var benchFix struct {
+	once    sync.Once
+	g       *graph.Graph
+	ens     *frt.Ensemble
+	idx     *frt.OracleIndex
+	centers []graph.Node
+	err     error
+}
+
+func benchFixture(b *testing.B) (*graph.Graph, *frt.Ensemble, *frt.OracleIndex, []graph.Node) {
+	b.Helper()
+	benchFix.once.Do(func() {
+		rng := par.NewRNG(17)
+		benchFix.g = graph.RandomConnected(1024, 16384, 8, rng)
+		emb, err := frt.NewEmbedder(benchFix.g, frt.Options{RNG: rng})
+		if err != nil {
+			benchFix.err = err
+			return
+		}
+		benchFix.ens, benchFix.err = emb.SampleEnsemble(4)
+		if benchFix.err != nil {
+			return
+		}
+		benchFix.idx, benchFix.err = benchFix.ens.Index()
+		if benchFix.err != nil {
+			return
+		}
+		for i := 0; i < 8; i++ {
+			benchFix.centers = append(benchFix.centers, graph.Node(i*127))
+		}
+	})
+	if benchFix.err != nil {
+		b.Fatal(benchFix.err)
+	}
+	return benchFix.g, benchFix.ens, benchFix.idx, benchFix.centers
+}
+
+// BenchmarkKMedianEvalIndex is one candidate-set evaluation on the batched
+// oracle kernel: one MinBatch over the n × k grid plus a per-client fold.
+func BenchmarkKMedianEvalIndex(b *testing.B) {
+	_, _, idx, centers := benchFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if CostOnIndex(idx, centers) <= 0 {
+			b.Fatal("non-positive cost")
+		}
+	}
+}
+
+// BenchmarkKMedianEvalDijkstra is the exact evaluation of the same candidate
+// set through the batched multi-source sweep — the modern exact path, paid
+// once for the winning set only.
+func BenchmarkKMedianEvalDijkstra(b *testing.B) {
+	g, _, _, centers := benchFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if Cost(g, centers) <= 0 {
+			b.Fatal("non-positive cost")
+		}
+	}
+}
+
+// BenchmarkKMedianEvalPerCenter is the seed-era evaluation loop: one full
+// single-source Dijkstra per center, folded to a per-client min — the
+// per-center Dijkstra loop the application tier ran before it was rebased
+// onto the oracle and multi-source kernels.
+func BenchmarkKMedianEvalPerCenter(b *testing.B) {
+	g, _, _, centers := benchFixture(b)
+	best := make([]float64, g.N())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for v := range best {
+			best[v] = math.Inf(1)
+		}
+		for _, c := range centers {
+			res := graph.Dijkstra(g, c)
+			for v, d := range res.Dist {
+				if d < best[v] {
+					best[v] = d
+				}
+			}
+		}
+		total := 0.0
+		for _, d := range best {
+			total += d
+		}
+		if total <= 0 {
+			b.Fatal("non-positive cost")
+		}
+	}
+}
+
+// BenchmarkKMedianSolve is the full rebased pipeline per op: candidate
+// sampling through the sparse engine, one tree DP per ensemble tree, oracle
+// ranking, one exact evaluation of the winner.
+func BenchmarkKMedianSolve(b *testing.B) {
+	g, ens, _, _ := benchFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Solve(g, 8, Options{RNG: par.NewRNG(23), Ensemble: ens})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Cost <= 0 {
+			b.Fatal("non-positive cost")
+		}
+	}
+}

@@ -2,14 +2,18 @@
 // Lenzen: an expected O(log k)-approximation for graphs (Theorem 9.2),
 // combining
 //
-//	(1) Mettu–Plaxton-style candidate sampling, adapted to graphs by
-//	    evaluating distances with multi-source Dijkstra (the paper runs the
-//	    forest-fire MBF-like algorithm on H for the same purpose),
-//	(2) an FRT tree sampled on the candidate submetric, and
-//	(3) an exact dynamic program for weighted k-median on the tree — made
-//	    simple by the FRT structure: leaf-to-leaf distance depends only on
-//	    the level of the lowest common ancestor, so a leaf served outside
-//	    its subtree pays a level-determined toll.
+//	(1) Mettu–Plaxton-style candidate sampling, with distances evaluated by
+//	    the sparse fixpoint engine's source-detection algebra (the paper
+//	    runs the forest-fire MBF-like algorithm on H for the same purpose),
+//	(2) FRT trees of the graph drawn through the shared frt.Embedder
+//	    pipeline, and
+//	(3) an exact dynamic program for k-median on each tree with centers
+//	    restricted to the candidate leaves — made simple by the FRT
+//	    structure: leaf-to-leaf distance depends only on the level of the
+//	    lowest common ancestor, so a leaf served outside its subtree pays a
+//	    level-determined toll. Tree solutions are compared with the batched
+//	    OracleIndex kernel (one MinBatch over the client × center grid) and
+//	    only the winner pays an exact evaluation.
 //
 // Baselines for the experiments: exact brute force (tiny instances) and
 // local search with single swaps (the classic (3+ε)-approximation).
@@ -19,9 +23,12 @@ import (
 	"fmt"
 	"math"
 
+	"parmbf/internal/apps/scenario"
 	"parmbf/internal/frt"
 	"parmbf/internal/graph"
+	"parmbf/internal/mbf"
 	"parmbf/internal/par"
+	"parmbf/internal/semiring"
 )
 
 // Result is a k-median solution.
@@ -78,8 +85,7 @@ func SampleCandidates(g *graph.Graph, k int, rng *par.RNG, tracker *par.Tracker)
 		if len(sample) == 0 {
 			break
 		}
-		dist, _ := graph.MultiSourceDijkstra(g, sample)
-		tracker.AddPhase(int64(g.M()+n), 1)
+		dist := nearestDist(g, sample, tracker)
 		// Remove the closest half of the alive nodes.
 		alivedists := make([]float64, 0, aliveCount)
 		for v := 0; v < n; v++ {
@@ -139,20 +145,44 @@ func quickSelect(xs []float64, k int) float64 {
 	return xs[lo]
 }
 
-// Options configures Solve.
-type Options struct {
-	// RNG is the randomness source (required).
-	RNG *par.RNG
-	// Trees is the number of independent FRT trees to try; the best
-	// resulting center set is kept (repeating log(1/ε) times boosts the
-	// success probability, §1). 0 selects 3.
-	Trees int
-	// Tracker, if non-nil, is charged the work/depth.
-	Tracker *par.Tracker
+// nearestDist returns dist(v, sources) for every node, computed by the
+// sparse fixpoint engine's (S, ∞, 1)-source-detection instance — the
+// MBF-like replacement for a multi-source Dijkstra sweep.
+func nearestDist(g *graph.Graph, sources []graph.Node, tracker *par.Tracker) []float64 {
+	isSource := make([]bool, g.N())
+	for _, s := range sources {
+		isSource[s] = true
+	}
+	maps := mbf.SourceDetection(g, func(v graph.Node) bool { return isSource[v] },
+		g.N(), semiring.Inf, 1, tracker)
+	dist := make([]float64, len(maps))
+	for v, m := range maps {
+		if m.Len() > 0 {
+			dist[v] = m.Entry(0).Dist
+		} else {
+			dist[v] = semiring.Inf
+		}
+	}
+	return dist
 }
 
+// Options is the unified application-scenario configuration; see
+// scenario.Options. Solve draws Trees trees (default 3) through the shared
+// embedder pipeline unless an Embedder or Ensemble is injected. RNG is
+// always required: candidate sampling is randomized even when the trees are
+// injected.
+type Options = scenario.Options
+
+// defaultTrees is the number of independent trees Solve tries when Options
+// does not say otherwise (repeating log(1/ε) times boosts the success
+// probability, §1).
+const defaultTrees = 3
+
 // Solve computes an expected O(log k)-approximate k-median solution of g
-// (Theorem 9.2).
+// (Theorem 9.2): Mettu–Plaxton candidate sampling, then for each FRT tree of
+// the ensemble an exact tree DP with centers restricted to candidate leaves.
+// The per-tree solutions are compared by the batched oracle estimate
+// (CostOnIndex); only the winner is evaluated exactly.
 func Solve(g *graph.Graph, k int, opts Options) (*Result, error) {
 	if opts.RNG == nil {
 		return nil, fmt.Errorf("kmedian: Options.RNG is required")
@@ -160,64 +190,90 @@ func Solve(g *graph.Graph, k int, opts Options) (*Result, error) {
 	if k < 1 || k > g.N() {
 		return nil, fmt.Errorf("kmedian: k=%d out of range", k)
 	}
-	trees := opts.Trees
-	if trees <= 0 {
-		trees = 3
-	}
 	rng := opts.RNG
 
-	// (1) Candidates and their client weights.
+	// (1) Candidates.
 	candidates := SampleCandidates(g, k, rng, opts.Tracker)
 	if len(candidates) <= k {
 		return &Result{Centers: candidates, Cost: Cost(g, candidates), Candidates: candidates}, nil
 	}
-	_, nearest := graph.MultiSourceDijkstra(g, candidates)
-	weight := make(map[graph.Node]float64, len(candidates))
-	for v := 0; v < g.N(); v++ {
-		weight[nearest[v]]++
-	}
 
-	// (2)+(3) Sample FRT trees on the candidate submetric and solve each by
-	// the exact tree DP; keep the best center set by exact G-cost.
-	sub := submetric(g, candidates, opts.Tracker)
-	var best *Result
-	for t := 0; t < trees; t++ {
-		emb, err := frt.SampleFromMetric(sub, rng, opts.Tracker)
-		if err != nil {
-			return nil, err
+	// (2)+(3) One tree DP per ensemble tree, centers restricted to the
+	// candidate leaves; every node is its own unit-weight client (no client
+	// aggregation onto candidates — the graph trees carry all leaves).
+	ens, err := opts.Resolve(g, defaultTrees)
+	if err != nil {
+		return nil, err
+	}
+	visit, err := opts.Visit(ens)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := ens.Index()
+	if err != nil {
+		return nil, err
+	}
+	allowed := make([]bool, g.N())
+	for _, q := range candidates {
+		allowed[q] = true
+	}
+	weight := make([]float64, g.N())
+	for v := range weight {
+		weight[v] = 1
+	}
+	var best []graph.Node
+	bestEst := math.Inf(1)
+	for _, t := range visit {
+		picked := TreeKMedianRestricted(t, weight, allowed, k)
+		if len(picked) == 0 {
+			continue
 		}
-		w := make([]float64, len(candidates))
-		for i, q := range candidates {
-			w[i] = weight[q]
-		}
-		picked := TreeKMedian(emb.Tree, w, k)
 		centers := make([]graph.Node, len(picked))
 		for i, leaf := range picked {
-			centers[i] = candidates[leaf]
+			centers[i] = graph.Node(leaf)
 		}
-		cost := Cost(g, centers)
-		if best == nil || cost < best.Cost {
-			best = &Result{Centers: centers, Cost: cost, Candidates: candidates}
+		if est := CostOnIndex(idx, centers); est < bestEst {
+			best, bestEst = centers, est
 		}
 	}
-	return best, nil
+	if best == nil {
+		return nil, fmt.Errorf("kmedian: no tree produced a center set")
+	}
+	return &Result{Centers: best, Cost: Cost(g, best), Candidates: candidates}, nil
 }
 
-// submetric computes the exact distance matrix of g restricted to the
-// candidate set (one Dijkstra per candidate).
-func submetric(g *graph.Graph, nodes []graph.Node, tracker *par.Tracker) *graph.Matrix {
-	m := graph.NewMatrix(len(nodes))
-	results := make([]*graph.SSSPResult, len(nodes))
-	par.ForEach(len(nodes), func(i int) {
-		results[i] = graph.Dijkstra(g, nodes[i])
-	})
-	tracker.AddPhase(int64(len(nodes))*int64(g.M()+g.N()), 1)
-	for i := range nodes {
-		for j, w := range nodes {
-			m.Set(i, j, results[i].Dist[w])
+// CostOnIndex estimates Σ_v dist(v, centers) with the ensemble oracle: one
+// MinBatch over the n × |centers| pair grid, then a per-client min. Each
+// term upper-bounds the true distance (Min is dominance-safe) with expected
+// stretch O(log n), so the estimate ranks center sets without touching the
+// graph — the batched replacement for the seed-era per-candidate-set
+// multi-source Dijkstra evaluation.
+func CostOnIndex(idx *frt.OracleIndex, centers []graph.Node) float64 {
+	n := idx.NumLeaves()
+	k := len(centers)
+	if k == 0 {
+		return math.Inf(1)
+	}
+	pairs := make([]frt.Pair, n*k)
+	for v := 0; v < n; v++ {
+		for i, c := range centers {
+			pairs[v*k+i] = frt.Pair{U: graph.Node(v), V: c}
 		}
 	}
-	return m
+	out := make([]float64, len(pairs))
+	idx.MinBatch(pairs, out)
+	total := 0.0
+	for v := 0; v < n; v++ {
+		row := out[v*k : v*k+k]
+		m := row[0]
+		for _, d := range row[1:] {
+			if d < m {
+				m = d
+			}
+		}
+		total += m
+	}
+	return total
 }
 
 // TreeKMedian solves weighted k-median exactly on an FRT tree: it returns
@@ -232,6 +288,16 @@ func submetric(g *graph.Graph, nodes []graph.Node, tracker *par.Tracker) *graph.
 // centers inside serving all of its leaves; a child allocated 0 centers
 // contributes its total weight times the toll at t.
 func TreeKMedian(t *frt.Tree, weight []float64, k int) []int32 {
+	return TreeKMedianRestricted(t, weight, nil, k)
+}
+
+// TreeKMedianRestricted is TreeKMedian with the center set restricted to the
+// leaves whose graph node is marked in allowed (nil allows every leaf):
+// disallowed leaves remain clients — they pay the toll to wherever their
+// serving center merges — but can never host a center. This is how the
+// candidate-sampling stage composes with trees drawn on the full graph: the
+// DP runs on the real FRT tree of G, no candidate submetric required.
+func TreeKMedianRestricted(t *frt.Tree, weight []float64, allowed []bool, k int) []int32 {
 	nt := t.NumNodes()
 	children := make([][]int32, nt)
 	root := int32(-1)
@@ -293,8 +359,12 @@ func TreeKMedian(t *frt.Tree, weight []float64, k int) []int32 {
 	solve = func(u int32) {
 		if leafOf[u] != -1 {
 			subWeight[u] = weight[leafOf[u]]
-			f[u] = []float64{inf, 0} // one center: the leaf itself, cost 0
-			choice[u] = make([][]alloc, 2)
+			if allowed == nil || allowed[leafOf[u]] {
+				f[u] = []float64{inf, 0} // one center: the leaf itself, cost 0
+			} else {
+				f[u] = []float64{inf} // client-only leaf: no center option
+			}
+			choice[u] = make([][]alloc, len(f[u]))
 			return
 		}
 		for _, c := range children[u] {

@@ -198,6 +198,55 @@ func TestSolveApproximationVsBruteForce(t *testing.T) {
 	}
 }
 
+func TestCostOnIndexDominatesExactCost(t *testing.T) {
+	// The oracle index never under-estimates distances, so the batched
+	// candidate evaluation must never under-estimate the exact serving cost.
+	rng := par.NewRNG(10)
+	g := graph.RandomConnected(40, 100, 5, rng)
+	emb, err := frt.NewEmbedder(g, frt.Options{RNG: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ens, err := emb.SampleEnsemble(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := ens.Index()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, centers := range [][]graph.Node{{0}, {3, 17}, {5, 20, 35}} {
+		est := CostOnIndex(idx, centers)
+		exact := Cost(g, centers)
+		if est < exact-1e-9 {
+			t.Fatalf("centers %v: index estimate %v under-estimates exact cost %v", centers, est, exact)
+		}
+	}
+}
+
+func TestSolveInjectedEnsemble(t *testing.T) {
+	rng := par.NewRNG(11)
+	g := graph.Clustered(3, 12, 150, rng)
+	emb, err := frt.NewEmbedder(g, frt.Options{RNG: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ens, err := emb.SampleEnsemble(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(g, 3, Options{RNG: rng, Ensemble: ens})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centers) == 0 || len(res.Centers) > 3 {
+		t.Fatalf("bad center count %d", len(res.Centers))
+	}
+	if res.Cost >= 150 {
+		t.Fatalf("cost %v suggests a cluster was left unserved", res.Cost)
+	}
+}
+
 func TestSolveSmallKReturnsDirectly(t *testing.T) {
 	rng := par.NewRNG(7)
 	g := graph.PathGraph(10, 1)
@@ -268,5 +317,30 @@ func TestAssignmentConsistentWithCost(t *testing.T) {
 	}
 	if diff := total - Cost(g, centers); diff > 1e-9 || diff < -1e-9 {
 		t.Fatalf("assignment cost %v vs Cost %v", total, Cost(g, centers))
+	}
+}
+
+// TestSolveFewCandidatesShortCircuit: when sampling leaves no more than k
+// candidates, Solve returns them directly with an exact cost — no tree stage.
+func TestSolveFewCandidatesShortCircuit(t *testing.T) {
+	g := graph.RandomConnected(12, 24, 6, par.NewRNG(61))
+	res, err := Solve(g, 5, Options{RNG: par.NewRNG(62)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centers) == 0 {
+		t.Fatal("no centers")
+	}
+	if want := Cost(g, res.Centers); res.Cost != want {
+		t.Fatalf("cost %v, exact evaluation %v", res.Cost, want)
+	}
+	if _, err := Solve(g, 0, Options{RNG: par.NewRNG(1)}); err == nil {
+		t.Fatal("k=0 must error")
+	}
+	if _, err := Solve(g, 99, Options{RNG: par.NewRNG(1)}); err == nil {
+		t.Fatal("k>n must error")
+	}
+	if _, err := Solve(g, 2, Options{}); err == nil {
+		t.Fatal("missing RNG must error")
 	}
 }

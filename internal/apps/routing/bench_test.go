@@ -1,0 +1,88 @@
+package routing
+
+import (
+	"sync"
+	"testing"
+
+	"parmbf/internal/frt"
+	"parmbf/internal/graph"
+	"parmbf/internal/par"
+)
+
+var benchFix struct {
+	once   sync.Once
+	g      *graph.Graph
+	ens    *frt.Ensemble
+	tables *Tables
+	pairs  []frt.Pair
+	err    error
+}
+
+func benchFixture(b *testing.B) (*graph.Graph, *frt.Ensemble, *Tables, []frt.Pair) {
+	b.Helper()
+	benchFix.once.Do(func() {
+		rng := par.NewRNG(37)
+		benchFix.g = graph.RandomConnected(1024, 4096, 8, rng)
+		emb, err := frt.NewEmbedder(benchFix.g, frt.Options{RNG: rng})
+		if err != nil {
+			benchFix.err = err
+			return
+		}
+		benchFix.ens, benchFix.err = emb.SampleEnsemble(4)
+		if benchFix.err != nil {
+			return
+		}
+		benchFix.tables, benchFix.err = Build(benchFix.g, Options{Ensemble: benchFix.ens})
+		if benchFix.err != nil {
+			return
+		}
+		prng := par.NewRNG(41)
+		benchFix.pairs = make([]frt.Pair, 256)
+		for i := range benchFix.pairs {
+			benchFix.pairs[i] = frt.Pair{
+				U: graph.Node(prng.Intn(1024)),
+				V: graph.Node(prng.Intn(1024)),
+			}
+		}
+	})
+	if benchFix.err != nil {
+		b.Fatal(benchFix.err)
+	}
+	return benchFix.g, benchFix.ens, benchFix.tables, benchFix.pairs
+}
+
+// BenchmarkRoutingTables is the preprocessing cost: one shared
+// RoutingTablesTo fixpoint toward every cluster center of the ensemble plus
+// the per-tree decomposition indexes.
+func BenchmarkRoutingTables(b *testing.B) {
+	g, ens, _, _ := benchFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt, err := Build(g, Options{Ensemble: ens})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rt.NumTrees() == 0 {
+			b.Fatal("no trees")
+		}
+	}
+}
+
+// BenchmarkRouteQueryBatch is the steady-state serving cost: 256 oblivious
+// routes per op against pre-built tables (argmin tree, center chain, segment
+// expansion through the shared next-hop tables).
+func BenchmarkRouteQueryBatch(b *testing.B) {
+	_, _, tables, pairs := benchFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		routes, err := tables.RouteBatch(pairs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(routes) != len(pairs) {
+			b.Fatal("short answer")
+		}
+	}
+}

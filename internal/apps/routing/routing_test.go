@@ -1,0 +1,230 @@
+package routing
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"parmbf/internal/frt"
+	"parmbf/internal/graph"
+	"parmbf/internal/par"
+)
+
+func TestRouteValidOnRandomGraph(t *testing.T) {
+	rng := par.NewRNG(1)
+	g := graph.RandomConnected(60, 150, 6, rng)
+	rt, err := Build(g, Options{RNG: rng, Trees: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairRNG := par.NewRNG(2)
+	for i := 0; i < 50; i++ {
+		u := graph.Node(pairRNG.Intn(g.N()))
+		v := graph.Node(pairRNG.Intn(g.N()))
+		r, err := rt.Route(u, v)
+		if err != nil {
+			t.Fatalf("route (%d,%d): %v", u, v, err)
+		}
+		if err := Validate(g, u, v, r); err != nil {
+			t.Fatalf("route (%d,%d): %v", u, v, err)
+		}
+	}
+}
+
+func TestRouteSelfPair(t *testing.T) {
+	rng := par.NewRNG(3)
+	g := graph.PathGraph(8, 1)
+	rt, err := Build(g, Options{RNG: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := rt.Route(5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Path) != 1 || r.Path[0] != 5 || r.Length != 0 {
+		t.Fatalf("self route %+v", r)
+	}
+	if err := Validate(g, 5, 5, r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouteRejectsOutOfRange(t *testing.T) {
+	rng := par.NewRNG(4)
+	g := graph.PathGraph(5, 1)
+	rt, err := Build(g, Options{RNG: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Route(0, 9); err == nil {
+		t.Fatal("out-of-range target accepted")
+	}
+	if _, err := rt.Route(-1, 2); err == nil {
+		t.Fatal("negative source accepted")
+	}
+}
+
+func TestRouteBatchMatchesRoute(t *testing.T) {
+	rng := par.NewRNG(5)
+	g := graph.GridGraph(6, 6, 3, rng)
+	rt, err := Build(g, Options{RNG: rng, Trees: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := []frt.Pair{{U: 0, V: 35}, {U: 7, V: 7}, {U: 12, V: 30}}
+	rs, err := rt.RouteBatch(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pairs {
+		single, err := rt.Route(p.U, p.V)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rs[i].Length != single.Length || rs[i].Tree != single.Tree {
+			t.Fatalf("pair %d: batch %+v vs single %+v", i, rs[i], single)
+		}
+	}
+	if _, err := rt.RouteBatch([]frt.Pair{{U: 0, V: 99}}); err == nil {
+		t.Fatal("batch with out-of-range pair accepted")
+	}
+}
+
+func TestRouteInjectedEnsembleSharesTrees(t *testing.T) {
+	rng := par.NewRNG(6)
+	g := graph.RandomConnected(40, 100, 5, rng)
+	emb, err := frt.NewEmbedder(g, frt.Options{RNG: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ens, err := emb.SampleEnsemble(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := Build(g, Options{Ensemble: ens})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.NumTrees() != 4 {
+		t.Fatalf("built %d trees, want 4", rt.NumTrees())
+	}
+	// The best-tree certificate must equal the ensemble's Min estimate:
+	// Route picks argmin over exactly the injected trees.
+	idx, err := ens.Index()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairRNG := par.NewRNG(7)
+	for i := 0; i < 30; i++ {
+		u := graph.Node(pairRNG.Intn(g.N()))
+		v := graph.Node(pairRNG.Intn(g.N()))
+		if u == v {
+			continue
+		}
+		r, err := rt.Route(u, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if min := idx.Min(u, v); r.TreeDist != min {
+			t.Fatalf("pair (%d,%d): certificate %v, ensemble Min %v", u, v, r.TreeDist, min)
+		}
+	}
+}
+
+// routingStretchBoundC pins the median routed-path stretch at
+// c·log₂ n, mirroring the frt stretch_stat suite: observed medians on the
+// fixed seeds are ~1.5–2.5 (log₂ 128 = 7), so c = 1 gives ample headroom
+// while an O(log n)-breaking regression fails immediately.
+const routingStretchBoundC = 1.0
+
+func TestStatisticalRoutingStretch(t *testing.T) {
+	rng := par.NewRNG(301)
+	g := graph.RandomConnected(128, 512, 8, rng)
+	rt, err := Build(g, Options{RNG: rng, Trees: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairRNG := par.NewRNG(302)
+	const pairs = 200
+	type q struct {
+		u, v graph.Node
+	}
+	qs := make([]q, 0, pairs)
+	for len(qs) < pairs {
+		u, v := graph.Node(pairRNG.Intn(g.N())), graph.Node(pairRNG.Intn(g.N()))
+		if u != v {
+			qs = append(qs, q{u, v})
+		}
+	}
+	bySource := map[graph.Node][]int{}
+	for i, p := range qs {
+		bySource[p.u] = append(bySource[p.u], i)
+	}
+	exact := make([]float64, len(qs))
+	for src, is := range bySource {
+		res := graph.Dijkstra(g, src)
+		for _, i := range is {
+			exact[i] = res.Dist[qs[i].v]
+		}
+	}
+	stretches := make([]float64, len(qs))
+	for i, p := range qs {
+		r, err := rt.Route(p.u, p.v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Validate(g, p.u, p.v, r); err != nil {
+			t.Fatal(err)
+		}
+		if r.Length < exact[i]-1e-9 {
+			t.Fatalf("pair (%d,%d): routed length %v beats Dijkstra %v", p.u, p.v, r.Length, exact[i])
+		}
+		stretches[i] = r.Length / exact[i]
+	}
+	sort.Float64s(stretches)
+	median := stretches[len(stretches)/2]
+	bound := routingStretchBoundC * math.Log2(float64(g.N()))
+	t.Logf("n=%d pairs=%d median routed stretch %.2f (pinned bound %.2f), p90 %.2f, max %.2f",
+		g.N(), len(qs), median, bound, stretches[len(stretches)*9/10], stretches[len(stretches)-1])
+	if median > bound {
+		t.Fatalf("median routed stretch %.2f exceeds pinned %.1f·log₂(%d) = %.2f",
+			median, routingStretchBoundC, g.N(), bound)
+	}
+}
+
+// TestValidateRejectsBadCertificates: Validate is the routing test oracle,
+// so its own rejection branches need pinning — a wrong endpoint, a fake
+// edge, a cooked length, and a length above the tree-distance certificate
+// must all fail.
+func TestValidateRejectsBadCertificates(t *testing.T) {
+	g := graph.RandomConnected(24, 60, 8, par.NewRNG(51))
+	rt, err := Build(g, Options{RNG: par.NewRNG(52), Trees: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := rt.Route(0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(g, 0, 9, r); err != nil {
+		t.Fatalf("genuine route rejected: %v", err)
+	}
+	if err := Validate(g, 1, 9, r); err == nil {
+		t.Fatal("wrong start endpoint accepted")
+	}
+	fake := &RouteResult{Path: []graph.Node{0, 9}, Length: 1}
+	if _, ok := g.HasEdge(0, 9); !ok {
+		if err := Validate(g, 0, 9, fake); err == nil {
+			t.Fatal("non-edge hop accepted")
+		}
+	}
+	cooked := &RouteResult{Path: r.Path, Length: r.Length / 2, Tree: r.Tree, TreeDist: r.TreeDist}
+	if err := Validate(g, 0, 9, cooked); err == nil {
+		t.Fatal("cooked length accepted")
+	}
+	short := &RouteResult{Path: r.Path, Length: r.Length, Tree: r.Tree, TreeDist: r.Length / 2}
+	if err := Validate(g, 0, 9, short); err == nil {
+		t.Fatal("length above the tree-distance certificate accepted")
+	}
+}

@@ -1,0 +1,91 @@
+// Package scenario holds the entry-point conventions shared by every
+// application scenario (kmedian, buyatbulk, steiner, routing): one Options
+// shape with an embedder/ensemble injection point. A standalone caller sets
+// just RNG and the scenario builds its own hop-set → H → oracle pipeline;
+// a daemon builds the pipeline once and injects the shared Embedder or the
+// already-sampled Ensemble, so every scenario answers from the same trees
+// and the same oracle index.
+package scenario
+
+import (
+	"fmt"
+
+	"parmbf/internal/frt"
+	"parmbf/internal/graph"
+	"parmbf/internal/par"
+)
+
+// Options configures an application scenario. The zero value is invalid:
+// every scenario needs either an RNG (to sample trees, and for its own
+// randomized stages) or an injected pipeline.
+type Options struct {
+	// RNG is the randomness source. Required unless Ensemble or Embedder is
+	// injected and the scenario has no randomized stage of its own.
+	RNG *par.RNG
+	// Trees is the number of FRT trees the scenario draws — or, with an
+	// injected Ensemble, visits — in its per-tree loop; 0 selects the
+	// scenario's default (all trees of an injected ensemble).
+	Trees int
+	// FirstTree is the offset of the first visited tree in an injected
+	// Ensemble — the router's per-tree sharding hook: shard i solves trees
+	// [FirstTree, FirstTree+Trees) and the router merges by reported cost.
+	// Ignored when trees are freshly sampled.
+	FirstTree int
+	// Embedder, if non-nil, is the shared pipeline to draw trees from; the
+	// scenario skips its own NewEmbedder build.
+	Embedder *frt.Embedder
+	// Ensemble, if non-nil, is used directly — no sampling happens.
+	Ensemble *frt.Ensemble
+	// Tracker, if non-nil, is charged the work/depth of the scenario's
+	// internal phases.
+	Tracker *par.Tracker
+}
+
+// Resolve returns the ensemble the scenario should run on: the injected one;
+// otherwise Trees (or defaultTrees) fresh trees drawn from the injected
+// embedder, or from a new embedder built on g.
+func (o Options) Resolve(g *graph.Graph, defaultTrees int) (*frt.Ensemble, error) {
+	if o.Ensemble != nil {
+		if len(o.Ensemble.Trees) == 0 {
+			return nil, fmt.Errorf("scenario: injected ensemble has no trees")
+		}
+		return o.Ensemble, nil
+	}
+	trees := o.Trees
+	if trees <= 0 {
+		trees = defaultTrees
+	}
+	emb := o.Embedder
+	if emb == nil {
+		if o.RNG == nil {
+			return nil, fmt.Errorf("scenario: Options.RNG is required unless an embedder or ensemble is injected")
+		}
+		var err error
+		emb, err = frt.NewEmbedder(g, frt.Options{RNG: o.RNG, Tracker: o.Tracker})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return emb.SampleEnsemble(trees)
+}
+
+// Visit returns the subrange of ens.Trees the scenario's per-tree loop
+// should cover: [FirstTree, FirstTree+Trees) clamped to the ensemble, the
+// whole ensemble when Trees is 0. An out-of-range FirstTree is an error (a
+// sharded deployment asking for trees the worker does not hold is a caller
+// bug, not something to silently clamp to empty).
+func (o Options) Visit(ens *frt.Ensemble) ([]*frt.Tree, error) {
+	k := len(ens.Trees)
+	lo := o.FirstTree
+	if lo < 0 || lo >= k {
+		if lo == 0 {
+			return nil, fmt.Errorf("scenario: ensemble has no trees")
+		}
+		return nil, fmt.Errorf("scenario: FirstTree=%d out of range for %d trees", lo, k)
+	}
+	hi := k
+	if o.Trees > 0 && lo+o.Trees < hi {
+		hi = lo + o.Trees
+	}
+	return ens.Trees[lo:hi], nil
+}

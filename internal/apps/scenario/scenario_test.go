@@ -1,0 +1,97 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"parmbf/internal/frt"
+	"parmbf/internal/graph"
+	"parmbf/internal/par"
+)
+
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	return graph.RandomConnected(24, 60, 8, par.NewRNG(3))
+}
+
+func TestResolveSamplesFreshTrees(t *testing.T) {
+	g := testGraph(t)
+	ens, err := Options{RNG: par.NewRNG(7)}.Resolve(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ens.Trees) != 2 {
+		t.Fatalf("got %d trees, want the default 2", len(ens.Trees))
+	}
+	// An explicit Trees count overrides the scenario default.
+	ens, err = Options{RNG: par.NewRNG(7), Trees: 3}.Resolve(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ens.Trees) != 3 {
+		t.Fatalf("got %d trees, want 3", len(ens.Trees))
+	}
+}
+
+func TestResolveInjectedEmbedderAndEnsemble(t *testing.T) {
+	g := testGraph(t)
+	emb, err := frt.NewEmbedder(g, frt.Options{RNG: par.NewRNG(11)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ens, err := Options{Embedder: emb}.Resolve(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ens.Trees) != 2 {
+		t.Fatalf("embedder injection: got %d trees, want 2", len(ens.Trees))
+	}
+	// An injected ensemble wins over everything and needs no RNG.
+	got, err := Options{Ensemble: ens}.Resolve(g, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != ens {
+		t.Fatal("injected ensemble was not returned as-is")
+	}
+}
+
+func TestResolveErrors(t *testing.T) {
+	g := testGraph(t)
+	if _, err := (Options{}).Resolve(g, 2); err == nil || !strings.Contains(err.Error(), "RNG") {
+		t.Fatalf("missing RNG: err = %v", err)
+	}
+	if _, err := (Options{Ensemble: &frt.Ensemble{}}).Resolve(g, 2); err == nil || !strings.Contains(err.Error(), "no trees") {
+		t.Fatalf("empty injected ensemble: err = %v", err)
+	}
+}
+
+func TestVisit(t *testing.T) {
+	g := testGraph(t)
+	ens, err := Options{RNG: par.NewRNG(13), Trees: 4}.Resolve(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := Options{}.Visit(ens)
+	if err != nil || len(all) != 4 {
+		t.Fatalf("Visit all: %d trees, err %v", len(all), err)
+	}
+	slice, err := Options{FirstTree: 1, Trees: 2}.Visit(ens)
+	if err != nil || len(slice) != 2 || slice[0] != ens.Trees[1] {
+		t.Fatalf("Visit [1,3): %d trees, err %v", len(slice), err)
+	}
+	// Trees overshooting the ensemble clamps to the end.
+	tail, err := Options{FirstTree: 3, Trees: 99}.Visit(ens)
+	if err != nil || len(tail) != 1 || tail[0] != ens.Trees[3] {
+		t.Fatalf("Visit clamped tail: %d trees, err %v", len(tail), err)
+	}
+	if _, err := (Options{FirstTree: 4}).Visit(ens); err == nil {
+		t.Fatal("out-of-range FirstTree must error")
+	}
+	if _, err := (Options{FirstTree: -1}).Visit(ens); err == nil {
+		t.Fatal("negative FirstTree must error")
+	}
+	if _, err := (Options{}).Visit(&frt.Ensemble{}); err == nil {
+		t.Fatal("empty ensemble must error")
+	}
+}

@@ -8,11 +8,13 @@
 //
 // Two solvers are provided.
 //
-//   - ViaEmbedding: sample an FRT tree, take the Steiner tree *on the tree*
-//     (trivial: the union of terminal-to-root paths pruned to the terminal
-//     spanning subtree — trees make Steiner easy, the whole point of tree
-//     embeddings), map its edges back to shortest paths in G (§7.5), and
-//     prune the union with an MST + leaf trimming. Expected cost
+//   - Solve: draw FRT trees through the shared frt.Embedder pipeline, take
+//     the Steiner tree *on each tree* (trivial: the union of terminal-to-root
+//     paths pruned to the terminal spanning subtree — trees make Steiner
+//     easy, the whole point of tree embeddings), map its edges back to
+//     shortest paths in G by walking the next-hop tables of one
+//     sparse-engine routing fixpoint (§7.5), and prune the union with an
+//     MST + leaf trimming; the lightest per-tree result wins. Expected cost
 //     O(log n)·OPT by the FRT stretch argument, since the objective is
 //     linear in edge weights.
 //
@@ -24,8 +26,10 @@ import (
 	"fmt"
 	"sort"
 
+	"parmbf/internal/apps/scenario"
 	"parmbf/internal/frt"
 	"parmbf/internal/graph"
+	"parmbf/internal/mbf"
 	"parmbf/internal/par"
 )
 
@@ -116,23 +120,46 @@ func prune(g *graph.Graph, sub *graph.Graph, terminals []graph.Node) *Result {
 	return &Result{Tree: out.Freeze(), Weight: weight}
 }
 
-// ViaEmbedding solves Steiner tree through a sampled FRT embedding.
-func ViaEmbedding(g *graph.Graph, terminals []graph.Node, rng *par.RNG, useOracle bool) (*Result, error) {
+// Options is the unified application-scenario configuration; see
+// scenario.Options. Solve draws Trees trees (default 1) through the shared
+// embedder pipeline unless an Embedder or Ensemble is injected; with several
+// trees the lightest per-tree result is returned.
+type Options = scenario.Options
+
+// defaultTrees is the number of trees Solve draws when Options does not say
+// otherwise. One tree realises the O(log n) expected-stretch argument; more
+// trees trade work for the usual best-of-K boost.
+const defaultTrees = 1
+
+// Solve computes an expected O(log n)-approximate Steiner tree through FRT
+// embeddings drawn from the shared pipeline.
+func Solve(g *graph.Graph, terminals []graph.Node, opts Options) (*Result, error) {
 	if err := validateTerminals(g, terminals); err != nil {
 		return nil, err
 	}
-	var emb *frt.Embedding
-	var err error
-	if useOracle {
-		emb, err = frt.Sample(g, frt.Options{RNG: rng})
-	} else {
-		emb, err = frt.SampleOnGraph(g, rng, nil)
-	}
+	ens, err := opts.Resolve(g, defaultTrees)
 	if err != nil {
 		return nil, err
 	}
-	tree := emb.Tree
+	visit, err := opts.Visit(ens)
+	if err != nil {
+		return nil, err
+	}
+	var best *Result
+	for _, tree := range visit {
+		res, err := solveOnTree(g, tree, terminals, opts.Tracker)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || res.Weight < best.Weight {
+			best = res
+		}
+	}
+	return best, nil
+}
 
+// solveOnTree extracts the Steiner tree on one FRT tree and maps it back to G.
+func solveOnTree(g *graph.Graph, tree *frt.Tree, terminals []graph.Node, tracker *par.Tracker) (*Result, error) {
 	// Steiner tree on the FRT tree: mark the tree edges on terminal-to-root
 	// paths, keep those below the terminals' lowest common ancestors — i.e.
 	// edges whose subtree contains ≥ 1 terminal but not all of them.
@@ -142,10 +169,11 @@ func ViaEmbedding(g *graph.Graph, terminals []graph.Node, rng *par.RNG, useOracl
 			termCount[u]++
 		}
 	}
-	// Map each used tree edge back to a shortest path in G; collect the
-	// union subgraph.
-	sub := graph.NewBuilder(g.N())
-	sssp := map[graph.Node]*graph.SSSPResult{}
+	// Collect the used tree edges as center-to-center hops, deduplicating the
+	// parent centers into the target set of one routing fixpoint.
+	type hop struct{ from, to graph.Node }
+	var hops []hop
+	targetSet := map[graph.Node]bool{}
 	for child := int32(0); child < int32(tree.NumNodes()); child++ {
 		if tree.Parent[child] == -1 {
 			continue
@@ -157,18 +185,29 @@ func ViaEmbedding(g *graph.Graph, terminals []graph.Node, rng *par.RNG, useOracl
 		if from == to {
 			continue
 		}
-		res, ok := sssp[from]
-		if !ok {
-			res = graph.Dijkstra(g, from)
-			sssp[from] = res
+		hops = append(hops, hop{from: from, to: to})
+		targetSet[to] = true
+	}
+	// Map each used tree edge back to a shortest path in G by walking the
+	// next-hop tables of a single sparse-engine fixpoint towards the distinct
+	// parent centers (§7.5); collect the union subgraph.
+	sub := graph.NewBuilder(g.N())
+	if len(hops) > 0 {
+		targets := make([]graph.Node, 0, len(targetSet))
+		for t := range targetSet {
+			targets = append(targets, t)
 		}
-		path := res.PathTo(to)
-		if path == nil {
-			return nil, fmt.Errorf("steiner: centers disconnected")
-		}
-		for i := 1; i < len(path); i++ {
-			w, _ := g.HasEdge(path[i-1], path[i])
-			sub.Add(path[i-1], path[i], w)
+		sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+		tables := mbf.RoutingTablesTo(g, targets, tracker)
+		for _, h := range hops {
+			path := mbf.WalkRoute(tables, h.from, h.to)
+			if path == nil {
+				return nil, fmt.Errorf("steiner: centers %d, %d disconnected", h.from, h.to)
+			}
+			for i := 1; i < len(path); i++ {
+				w, _ := g.HasEdge(path[i-1], path[i])
+				sub.Add(path[i-1], path[i], w)
+			}
 		}
 	}
 	result := prune(g, sub.Freeze(), terminals)

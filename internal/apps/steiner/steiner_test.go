@@ -3,6 +3,7 @@ package steiner
 import (
 	"testing"
 
+	"parmbf/internal/frt"
 	"parmbf/internal/graph"
 	"parmbf/internal/par"
 )
@@ -67,11 +68,11 @@ func TestMetricClosureWithin2OPTOnStar(t *testing.T) {
 	}
 }
 
-func TestViaEmbeddingConnectsTerminals(t *testing.T) {
+func TestSolveConnectsTerminals(t *testing.T) {
 	rng := par.NewRNG(1)
 	g := graph.RandomConnected(60, 150, 6, rng)
 	terms := []graph.Node{0, 17, 33, 59}
-	r, err := ViaEmbedding(g, terms, rng, false)
+	r, err := Solve(g, terms, Options{RNG: rng})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,44 +84,56 @@ func TestViaEmbeddingConnectsTerminals(t *testing.T) {
 	}
 }
 
-func TestViaEmbeddingOraclePipeline(t *testing.T) {
+func TestSolveInjectedEnsemble(t *testing.T) {
 	rng := par.NewRNG(2)
 	g := graph.RandomConnected(50, 120, 5, rng)
+	emb, err := frt.NewEmbedder(g, frt.Options{RNG: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ens, err := emb.SampleEnsemble(3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	terms := []graph.Node{1, 10, 44}
-	r, err := ViaEmbedding(g, terms, rng, true)
+	r, err := Solve(g, terms, Options{Ensemble: ens})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := Validate(g, terms, r); err != nil {
 		t.Fatal(err)
 	}
-}
-
-func TestViaEmbeddingApproximationRatio(t *testing.T) {
-	// The embedding solution must be within O(log n) of the lower bound;
-	// at n = 60 a ratio beyond 12 would indicate a broken pipeline.
-	rng := par.NewRNG(3)
-	g := graph.GridGraph(8, 8, 3, rng)
-	terms := []graph.Node{0, 7, 56, 63, 27}
-	best := -1.0
-	for trial := 0; trial < 3; trial++ {
-		r, err := ViaEmbedding(g, terms, rng, false)
+	// Best-of-ensemble cannot be worse than any single tree of the ensemble.
+	for i := 0; i < 3; i++ {
+		one, err := Solve(g, terms, Options{Ensemble: ens, FirstTree: i, Trees: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
-		if best < 0 || r.Weight < best {
-			best = r.Weight
+		if one.Weight < r.Weight-1e-9 {
+			t.Fatalf("single tree %d beats the ensemble: %v < %v", i, one.Weight, r.Weight)
 		}
+	}
+}
+
+func TestSolveApproximationRatio(t *testing.T) {
+	// The embedding solution must be within O(log n) of the lower bound;
+	// at n = 64 a ratio beyond 12 would indicate a broken pipeline.
+	rng := par.NewRNG(3)
+	g := graph.GridGraph(8, 8, 3, rng)
+	terms := []graph.Node{0, 7, 56, 63, 27}
+	r, err := Solve(g, terms, Options{RNG: rng, Trees: 3})
+	if err != nil {
+		t.Fatal(err)
 	}
 	lb, err := LowerBound(g, terms)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if best < lb-1e-9 {
-		t.Fatalf("solution %v beats the lower bound %v", best, lb)
+	if r.Weight < lb-1e-9 {
+		t.Fatalf("solution %v beats the lower bound %v", r.Weight, lb)
 	}
-	if best > 12*lb {
-		t.Fatalf("ratio %v implausibly large", best/lb)
+	if r.Weight > 12*lb {
+		t.Fatalf("ratio %v implausibly large", r.Weight/lb)
 	}
 }
 
@@ -142,13 +155,56 @@ func TestPruneRemovesUselessBranches(t *testing.T) {
 func TestValidateInput(t *testing.T) {
 	g := graph.PathGraph(5, 1)
 	rng := par.NewRNG(4)
-	if _, err := ViaEmbedding(g, []graph.Node{1}, rng, false); err == nil {
+	if _, err := Solve(g, []graph.Node{1}, Options{RNG: rng}); err == nil {
 		t.Fatal("single terminal accepted")
 	}
-	if _, err := ViaEmbedding(g, []graph.Node{1, 1}, rng, false); err == nil {
+	if _, err := Solve(g, []graph.Node{1, 1}, Options{RNG: rng}); err == nil {
 		t.Fatal("duplicate terminal accepted")
 	}
-	if _, err := ViaEmbedding(g, []graph.Node{1, 9}, rng, false); err == nil {
+	if _, err := Solve(g, []graph.Node{1, 9}, Options{RNG: rng}); err == nil {
 		t.Fatal("out-of-range terminal accepted")
+	}
+	if _, err := Solve(g, []graph.Node{1, 3}, Options{}); err == nil {
+		t.Fatal("missing RNG accepted")
+	}
+}
+
+// TestValidateAndLowerBoundRejections covers the auditor branches: cooked
+// weight accounting, a terminal outside the solution component, and
+// LowerBound's degenerate terminal set.
+func TestValidateAndLowerBoundRejections(t *testing.T) {
+	g := graph.GridGraph(4, 4, 3, par.NewRNG(70))
+	terms := []graph.Node{0, 15}
+	res, err := Solve(g, terms, Options{RNG: par.NewRNG(71)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(g, terms, res); err != nil {
+		t.Fatalf("genuine solution rejected: %v", err)
+	}
+	cooked := &Result{Tree: res.Tree, Weight: res.Weight * 2}
+	if err := Validate(g, terms, cooked); err == nil {
+		t.Fatal("cooked weight accepted")
+	}
+	// A node the tree does not touch is a disconnected terminal.
+	used := map[graph.Node]bool{}
+	for _, e := range res.Tree.Edges() {
+		used[e.U] = true
+		used[e.V] = true
+	}
+	for v := 0; v < g.N(); v++ {
+		if !used[graph.Node(v)] {
+			if err := Validate(g, []graph.Node{0, 15, graph.Node(v)}, res); err == nil {
+				t.Fatalf("terminal %d outside the tree accepted", v)
+			}
+			break
+		}
+	}
+	if _, err := LowerBound(g, []graph.Node{3}); err == nil {
+		t.Fatal("single-terminal lower bound must error")
+	}
+	lb, err := LowerBound(g, terms)
+	if err != nil || lb <= 0 || lb > res.Weight {
+		t.Fatalf("lower bound %v (err %v), want 0 < lb \u2264 %v", lb, err, res.Weight)
 	}
 }

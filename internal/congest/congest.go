@@ -87,8 +87,10 @@ func maxListLen(x []semiring.DistMap) int {
 //
 // The simulation is frontier-driven: each step re-aggregates only the nodes
 // an LE-list change can reach, and the fixpoint is detected when the
-// frontier empties — no full-vector comparison. The round accounting is
-// unchanged: the algorithm as analysed broadcasts every node's filtered
+// frontier empties — no full-vector comparison. The loop holds one Stepper
+// for its whole run, so the runner's scratch pools and the state vector are
+// reused across rounds instead of re-copied per step. The round accounting
+// is unchanged: the algorithm as analysed broadcasts every node's filtered
 // list each iteration, so every iteration still costs max_v |x_v| rounds;
 // sparsity only makes the simulation itself faster.
 func Khan(g *graph.Graph, rng *par.RNG) *Result {
@@ -96,18 +98,17 @@ func Khan(g *graph.Graph, rng *par.RNG) *Result {
 	order := frt.NewOrder(n, rng)
 	runner := leRunner(g, order, 1)
 
-	x := runner.Run(frt.InitialStates(n), 0)
-	frontier := runner.Frontier(x)
-	rounds, iters := 0, 0
-	for len(frontier) > 0 {
-		rounds += maxListLen(x)
-		x, frontier = runner.IterateDelta(x, frontier)
-		iters++
-		if iters > n {
+	st := runner.NewStepper(frt.InitialStates(n))
+	defer st.Release()
+	rounds := 0
+	for !st.Done() {
+		rounds += maxListLen(st.States())
+		st.Step()
+		if st.Steps() > n {
 			break
 		}
 	}
-	return &Result{Lists: x, Order: order, Rounds: rounds, Iterations: iters, StretchBound: 1}
+	return &Result{Lists: st.States(), Order: order, Rounds: rounds, Iterations: st.Steps(), StretchBound: 1}
 }
 
 // SkeletonOptions configures Skeleton.
@@ -199,13 +200,19 @@ func Skeleton(g *graph.Graph, rng *par.RNG, opts SkeletonOptions) *Result {
 	xbar, _ := spannerRunner.RunToFixpoint(frt.InitialStates(n), len(skeleton)+1)
 
 	// Final phase: ℓ LE iterations on G with weights stretched by α,
-	// starting from x̄ (Equation 8.9 / 8.20).
+	// starting from x̄ (Equation 8.9 / 8.20). One Stepper carries the whole
+	// phase: each iteration is an in-place sparse step reusing the runner's
+	// scratch, and once the fixpoint lands further steps are no-ops — but the
+	// round meter still charges all ℓ broadcasts, as the analysed algorithm
+	// does not detect convergence.
 	runner := leRunner(g, order, alpha)
-	x := xbar
+	st := runner.NewStepper(xbar)
+	defer st.Release()
 	for i := 0; i < ell; i++ {
-		rounds += maxListLen(x)
-		x = runner.Iterate(x)
+		rounds += maxListLen(st.States())
+		st.Step()
 	}
+	x := st.States()
 	return &Result{
 		Lists: x, Order: order, Rounds: rounds, Iterations: ell,
 		StretchBound: alpha, Skeleton: skeleton, Spanner: sp,

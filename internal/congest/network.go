@@ -25,6 +25,10 @@ import (
 type MessageNetwork struct {
 	g     *graph.Graph
 	order *frt.Order
+	// filter is order's LE filter, built once: integrate runs per delivered
+	// message, and the closure construction (which captures the order's rank
+	// table) is far from free at that frequency.
+	filter semiring.Filter[semiring.DistMap]
 	// state[v] is v's current LE list.
 	state []semiring.DistMap
 	// outbox[v][i] queues entries for the i-th incident edge of v.
@@ -41,6 +45,7 @@ func NewMessageNetwork(g *graph.Graph, order *frt.Order) *MessageNetwork {
 	net := &MessageNetwork{
 		g:      g,
 		order:  order,
+		filter: order.Filter(),
 		state:  make([]semiring.DistMap, n),
 		outbox: make([][][]semiring.Entry, n),
 	}
@@ -58,9 +63,8 @@ func NewMessageNetwork(g *graph.Graph, order *frt.Order) *MessageNetwork {
 // integrate merges the relaxed entry into v's list; improvements are
 // re-announced on all of v's edges.
 func (net *MessageNetwork) integrate(v graph.Node, e semiring.Entry) {
-	filter := net.order.Filter()
 	merged := (semiring.DistMapModule{}).Add(net.state[v], semiring.SingletonDist(e.Node, e.Dist))
-	next := filter(merged)
+	next := net.filter(merged)
 	// Announce entries that are new or improved relative to the old list.
 	old := net.state[v]
 	net.state[v] = next

@@ -490,7 +490,7 @@ func X1Steiner(cfg Config) *Table {
 		terms := []graph.Node{0, graph.Node(side - 1), graph.Node(n - side), graph.Node(n - 1), graph.Node(n / 2)}
 		best := -1.0
 		for trial := 0; trial < 3; trial++ {
-			r, err := steiner.ViaEmbedding(g, terms, rng, false)
+			r, err := steiner.Solve(g, terms, steiner.Options{RNG: rng})
 			if err != nil {
 				panic(err)
 			}

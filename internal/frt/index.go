@@ -129,6 +129,35 @@ func (x *TreeIndex) Dist(u, v graph.Node) float64 {
 	return x.pw[ru+h] + x.pw[rv+h]
 }
 
+// MergeHeight returns the lowest height at which the ancestor chains of u's
+// and v's leaves meet — the height of their lowest common ancestor — in
+// O(log depth) lookups. MergeHeight(v, v) is 0.
+func (x *TreeIndex) MergeHeight(u, v graph.Node) int {
+	if u == v {
+		return 0
+	}
+	ru, rv := int(u)*x.stride, int(v)*x.stride
+	return mergeHeight(x.anc[ru:ru+x.stride], x.anc[rv:rv+x.stride])
+}
+
+// Ancestor returns the tree node that is the height-h ancestor of v's leaf
+// (h=0 the leaf itself, h=Depth() the root). Combined with MergeHeight it
+// exposes the tree decomposition to the application tier: the tree path
+// between two leaves is their ancestor chains up to the merge height, and
+// Ancestor(u, MergeHeight(u, v)) is the LCA. Panics if h is out of range.
+func (x *TreeIndex) Ancestor(v graph.Node, h int) int32 {
+	if h < 0 || h > x.depth {
+		panic("frt: ancestor height out of range")
+	}
+	return x.anc[int(v)*x.stride+h]
+}
+
+// LCA returns the lowest common ancestor (as a tree node) of the leaves of
+// u and v.
+func (x *TreeIndex) LCA(u, v graph.Node) int32 {
+	return x.anc[int(u)*x.stride+x.MergeHeight(u, v)]
+}
+
 // Pair is a distance-query pair.
 type Pair struct {
 	U, V graph.Node

@@ -422,3 +422,57 @@ func TestOracleIndexRejectsMismatchedTrees(t *testing.T) {
 		t.Fatal("mismatched node counts indexed")
 	}
 }
+
+// TestTreeIndexDecompositionAccessors pins MergeHeight / Ancestor / LCA —
+// the decomposition API the application tier (oblivious routing, buy-at-bulk
+// flow accumulation) walks — against a naive parent walk on the raw tree.
+func TestTreeIndexDecompositionAccessors(t *testing.T) {
+	g, ens := sampleEnsembleForIndex(t, 91, 48, 140, 1)
+	tree := ens.Trees[0]
+	idx, err := NewTreeIndex(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Tree() != tree {
+		t.Fatal("Tree() does not return the indexed tree")
+	}
+	rng := par.NewRNG(92)
+	for trial := 0; trial < 200; trial++ {
+		u := graph.Node(rng.Intn(g.N()))
+		v := graph.Node(rng.Intn(g.N()))
+		// Naive walk: lift both leaves in lockstep (uniform leaf depth)
+		// until the chains meet.
+		cu, cv, h := tree.Leaf[u], tree.Leaf[v], 0
+		for cu != cv {
+			cu, cv = tree.Parent[cu], tree.Parent[cv]
+			h++
+		}
+		if got := idx.MergeHeight(u, v); got != h {
+			t.Fatalf("MergeHeight(%d, %d) = %d, walk says %d", u, v, got, h)
+		}
+		if got := idx.LCA(u, v); got != cu {
+			t.Fatalf("LCA(%d, %d) = %d, walk says %d", u, v, got, cu)
+		}
+		if got := idx.Ancestor(u, h); got != cu {
+			t.Fatalf("Ancestor(%d, %d) = %d, walk says %d", u, h, got, cu)
+		}
+		if got := idx.Ancestor(u, 0); got != tree.Leaf[u] {
+			t.Fatalf("Ancestor(%d, 0) = %d, want the leaf %d", u, got, tree.Leaf[u])
+		}
+	}
+	// The root is every leaf's Depth()-ancestor.
+	root := idx.Ancestor(0, idx.Depth())
+	if tree.Parent[root] != -1 {
+		t.Fatal("Depth()-ancestor is not the root")
+	}
+	for _, h := range []int{-1, idx.Depth() + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Ancestor height %d must panic", h)
+				}
+			}()
+			idx.Ancestor(0, h)
+		}()
+	}
+}

@@ -109,6 +109,41 @@ func TestFastPathMatchesFoldWidthMap(t *testing.T) {
 	}
 }
 
+func TestFastPathMatchesFoldRouteMap(t *testing.T) {
+	for _, seed := range []uint64{11, 12, 13} {
+		g := diffGraph(seed)
+		r := &Runner[semiring.Hop, semiring.RouteMap]{
+			Graph:  g,
+			Module: semiring.RouteMapModule{},
+			Weight: HopWeight,
+		}
+		x0 := make([]semiring.RouteMap, g.N())
+		for v := range x0 {
+			x0[v] = semiring.RouteMap{{Target: graph.Node(v), Dist: 0, Next: semiring.NoVia}}
+		}
+		runBoth(t, r, x0, 6)
+	}
+}
+
+// TestFastPathMatchesFoldRouteMapRestricted covers the sparse shape the
+// routing application feeds the engine: only a subset of nodes seed a table,
+// so most merges see empty self states and dead terms.
+func TestFastPathMatchesFoldRouteMapRestricted(t *testing.T) {
+	g := diffGraph(14)
+	r := &Runner[semiring.Hop, semiring.RouteMap]{
+		Graph:  g,
+		Module: semiring.RouteMapModule{},
+		Weight: HopWeight,
+	}
+	x0 := make([]semiring.RouteMap, g.N())
+	for v := range x0 {
+		if v%5 == 0 {
+			x0[v] = semiring.RouteMap{{Target: graph.Node(v), Dist: 0, Next: semiring.NoVia}}
+		}
+	}
+	runBoth(t, r, x0, 6)
+}
+
 func TestFastPathMatchesFoldBoolSet(t *testing.T) {
 	g := diffGraph(7)
 	r := &Runner[bool, []semiring.NodeID]{

@@ -550,6 +550,13 @@ func MaxMinWeight(_, _ graph.Node, w float64) float64 { return w }
 // (Equation 3.28): every edge propagates.
 func BoolWeight(_, _ graph.Node, _ float64) bool { return true }
 
+// HopWeight is the Weight function of the next-hop-enriched min-plus
+// algebra (HopSemiring): the arc from→to carries the edge weight and stamps
+// to as the first hop of every route it relaxes.
+func HopWeight(_, to graph.Node, w float64) semiring.Hop {
+	return semiring.Hop{W: w, Via: to}
+}
+
 // PathWeight is the Weight function of the all-paths semiring
 // (Equation 3.18): the arc from→to becomes the single-edge path (from, to)
 // with its weight.

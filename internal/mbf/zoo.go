@@ -246,20 +246,65 @@ func sourceSet(n int, sources []graph.Node) func(graph.Node) bool {
 // back to graph paths, expressed as just another MBF-like algorithm.
 func RoutingTables(g *graph.Graph, k, h int, tracker *par.Tracker) []semiring.RouteMap {
 	r := &Runner[semiring.Hop, semiring.RouteMap]{
-		Graph:  g,
-		Module: semiring.RouteMapModule{},
-		Filter: routeTopK(k),
-		Weight: func(_, to graph.Node, w float64) semiring.Hop {
-			return semiring.Hop{W: w, Via: to}
-		},
-		Size:    func(x semiring.RouteMap) int { return len(x) + 1 },
-		Tracker: tracker,
+		Graph:         g,
+		Module:        semiring.RouteMapModule{},
+		Filter:        routeTopK(k),
+		FilterInPlace: routeTopKInPlace(k),
+		Weight:        HopWeight,
+		Size:          func(x semiring.RouteMap) int { return len(x) + 1 },
+		Tracker:       tracker,
 	}
 	x0 := make([]semiring.RouteMap, g.N())
 	for v := range x0 {
 		x0[v] = semiring.RouteMap{{Target: graph.Node(v), Dist: 0, Next: semiring.NoVia}}
 	}
-	return r.Run(x0, h)
+	x, _ := r.RunToFixpoint(x0, h)
+	return x
+}
+
+// RoutingTablesTo computes, for every node, the full routing table towards a
+// restricted target set: table[v] holds one entry per target with the exact
+// shortest-path distance and the first hop of a shortest path (ties broken
+// towards the smaller next hop, so tables are deterministic). Only targets
+// seed a state, so intermediate state size — and the fixpoint's work — is
+// bounded by |targets| per node rather than n. This is the §7.5 primitive
+// the application tier uses to materialise a tree edge as a graph path:
+// walking Next pointers from a node towards a target traces a shortest path
+// one trusted hop at a time.
+func RoutingTablesTo(g *graph.Graph, targets []graph.Node, tracker *par.Tracker) []semiring.RouteMap {
+	r := &Runner[semiring.Hop, semiring.RouteMap]{
+		Graph:   g,
+		Module:  semiring.RouteMapModule{},
+		Weight:  HopWeight,
+		Size:    func(x semiring.RouteMap) int { return len(x) + 1 },
+		Tracker: tracker,
+	}
+	x0 := make([]semiring.RouteMap, g.N())
+	for _, t := range targets {
+		x0[t] = semiring.RouteMap{{Target: t, Dist: 0, Next: semiring.NoVia}}
+	}
+	x, _ := r.RunToFixpoint(x0, g.N())
+	return x
+}
+
+// WalkRoute materialises the next-hop path from→to recorded in tables (as
+// produced by RoutingTables / RoutingTablesTo): it follows Next pointers —
+// each hop is an incident edge and strictly decreases the remaining
+// distance — until it arrives. The returned path is a shortest from→to path
+// whose total weight is tables[from].Get(to).Dist. Returns nil when the
+// tables record no route.
+func WalkRoute(tables []semiring.RouteMap, from, to graph.Node) []graph.Node {
+	path := []graph.Node{from}
+	cur := from
+	for cur != to {
+		r, ok := tables[cur].Get(to)
+		if !ok || r.Next == semiring.NoVia || len(path) > len(tables) {
+			return nil
+		}
+		cur = graph.Node(r.Next)
+		path = append(path, cur)
+	}
+	return path
 }
 
 // routeTopK keeps the k nearest routes (ties broken by target ID); k ≤ 0
@@ -273,14 +318,35 @@ func routeTopK(k int) semiring.Filter[semiring.RouteMap] {
 			return x
 		}
 		kept := append(semiring.RouteMap(nil), x...)
-		sort.Slice(kept, func(i, j int) bool {
-			if kept[i].Dist != kept[j].Dist {
-				return kept[i].Dist < kept[j].Dist
-			}
-			return kept[i].Target < kept[j].Target
-		})
-		kept = kept[:k]
-		sort.Slice(kept, func(i, j int) bool { return kept[i].Target < kept[j].Target })
-		return kept
+		return routeTruncate(kept, k)
 	}
+}
+
+// routeTopKInPlace is the ownership-taking variant of routeTopK: it reorders
+// and truncates its argument instead of copying, for engines that hand the
+// filter exclusively owned states.
+func routeTopKInPlace(k int) semiring.Filter[semiring.RouteMap] {
+	if k <= 0 {
+		return nil
+	}
+	return func(x semiring.RouteMap) semiring.RouteMap {
+		if len(x) <= k {
+			return x
+		}
+		return routeTruncate(x, k)
+	}
+}
+
+// routeTruncate keeps the k nearest routes of kept (ties broken by target
+// ID), restoring the sorted-by-target representation invariant.
+func routeTruncate(kept semiring.RouteMap, k int) semiring.RouteMap {
+	sort.Slice(kept, func(i, j int) bool {
+		if kept[i].Dist != kept[j].Dist {
+			return kept[i].Dist < kept[j].Dist
+		}
+		return kept[i].Target < kept[j].Target
+	})
+	kept = kept[:k]
+	sort.Slice(kept, func(i, j int) bool { return kept[i].Target < kept[j].Target })
+	return kept
 }

@@ -298,3 +298,107 @@ func BenchmarkParSort(b *testing.B) {
 		Sort(work, func(x, y float64) bool { return x < y })
 	}
 }
+
+// withMaxProcs forces a parallel width for the duration of f so the parallel
+// branches are exercised even when the test host has a single core.
+func withMaxProcs(t *testing.T, procs int, f func()) {
+	t.Helper()
+	old := MaxProcs
+	defer func() { MaxProcs = old }()
+	MaxProcs = procs
+	f()
+}
+
+func TestForEachParallelCoversAllIndices(t *testing.T) {
+	withMaxProcs(t, 4, func() {
+		const n = 1000
+		var hits [n]atomic.Int64
+		ForEach(n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if hits[i].Load() != 1 {
+				t.Fatalf("index %d visited %d times", i, hits[i].Load())
+			}
+		}
+	})
+}
+
+func TestForEachChunkCoversDisjointRanges(t *testing.T) {
+	for _, procs := range []int{1, 4} {
+		withMaxProcs(t, procs, func() {
+			const n = 1000
+			var hits [n]atomic.Int64
+			ForEachChunk(n, func(start, end int) {
+				if start < 0 || end > n || start >= end {
+					t.Errorf("bad range [%d,%d)", start, end)
+				}
+				for i := start; i < end; i++ {
+					hits[i].Add(1)
+				}
+			})
+			for i := range hits {
+				if hits[i].Load() != 1 {
+					t.Fatalf("procs=%d: index %d visited %d times", procs, i, hits[i].Load())
+				}
+			}
+		})
+	}
+	ForEachChunk(0, func(start, end int) { t.Error("body called for n=0") })
+}
+
+func TestReduceParallelMatchesSequential(t *testing.T) {
+	const n = 5000
+	body := func(i int) int { return i * i }
+	merge := func(a, b int) int { return a + b }
+	want := Reduce(n, 0, body, merge)
+	withMaxProcs(t, 4, func() {
+		if got := Reduce(n, 0, body, merge); got != want {
+			t.Fatalf("parallel sum %d, sequential says %d", got, want)
+		}
+	})
+	if got := Reduce(0, 42, body, merge); got != 42 {
+		t.Fatalf("empty reduce returned %d, want the identity", got)
+	}
+}
+
+func TestSortParallelMatchesStdlib(t *testing.T) {
+	withMaxProcs(t, 4, func() {
+		rng := NewRNG(99)
+		s := make([]int, 3*sortGrain)
+		for i := range s {
+			s[i] = rng.Intn(1 << 20)
+		}
+		want := append([]int(nil), s...)
+		sort.Ints(want)
+		Sort(s, func(a, b int) bool { return a < b })
+		for i := range s {
+			if s[i] != want[i] {
+				t.Fatalf("mismatch at %d: %d vs %d", i, s[i], want[i])
+			}
+		}
+	})
+}
+
+func TestRNGSplitNAndBool(t *testing.T) {
+	rng := NewRNG(7)
+	rngs := rng.SplitN(4)
+	if len(rngs) != 4 {
+		t.Fatalf("SplitN returned %d generators", len(rngs))
+	}
+	seen := map[uint64]bool{}
+	for _, r := range rngs {
+		v := r.Uint64()
+		if seen[v] {
+			t.Fatal("split generators emitted the same first draw")
+		}
+		seen[v] = true
+	}
+	heads := 0
+	for i := 0; i < 2000; i++ {
+		if rng.Bool() {
+			heads++
+		}
+	}
+	if heads < 800 || heads > 1200 {
+		t.Fatalf("%d heads out of 2000 — Bool badly biased", heads)
+	}
+}

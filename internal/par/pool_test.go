@@ -16,14 +16,16 @@ func TestPoolReusesValues(t *testing.T) {
 	if calls != 1 || len(*v) != 4 {
 		t.Fatalf("first Get: calls=%d len=%d", calls, len(*v))
 	}
-	p.Put(v)
-	if got := p.Get(); got != v {
-		// sync.Pool may drop values under GC pressure, but in a quiet
-		// unit test an immediate Get must return the value just Put.
-		t.Fatal("Put value not reused")
+	// sync.Pool drops Put values at random when the race detector is
+	// enabled (and may drop them under GC pressure), so allow a few
+	// rounds before declaring reuse broken.
+	reused := false
+	for i := 0; i < 32 && !reused; i++ {
+		p.Put(v)
+		reused = p.Get() == v
 	}
-	if calls != 1 {
-		t.Fatalf("New called %d times, want 1", calls)
+	if !reused {
+		t.Fatal("Put value never reused")
 	}
 }
 

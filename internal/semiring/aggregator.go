@@ -95,6 +95,8 @@ type Scratch struct {
 	heap   []mergeCursor
 	shifts []float64
 	width  []WidthMap
+	routes []RouteMap
+	vias   []NodeID
 	sets   [][]NodeID
 	// SoA distance-map kernel state: per-list ID/distance headers, the
 	// reduction-round group headers, and the two ping-pong arenas.

@@ -144,6 +144,70 @@ func (RouteMapModule) SMul(s Hop, x RouteMap) RouteMap {
 	return out
 }
 
+// Aggregate implements the Aggregator fast path: one k-way merge of self and
+// the propagated neighbor tables — per target the lightest route, ties broken
+// towards the smaller next hop exactly as Add does — instead of a fold of
+// Add/SMul that materialises one intermediate table per neighbor. SMul is
+// applied on the fly: list li's entries are shifted by shifts[li] and
+// rerouted through vias[li], where NoVia keeps the entry's own hop (which is
+// also how the self list rides the merge unscaled). Terms with an ∞ scalar
+// or empty tables are skipped; the result is freshly allocated and never
+// aliases an input.
+//
+// Ties on both Dist and Next mean identical Route values, so the per-target
+// minimum is order-independent and the merge equals the left fold exactly —
+// the differential test in internal/mbf pins this on random graphs.
+func (RouteMapModule) Aggregate(sc *Scratch, self RouteMap, terms []Term[Hop, RouteMap]) RouteMap {
+	lists := sc.routes[:0]
+	shifts := sc.shifts[:0]
+	vias := sc.vias[:0]
+	total := 0
+	if len(self) > 0 {
+		lists = append(lists, self)
+		shifts = append(shifts, 0)
+		vias = append(vias, NoVia)
+		total += len(self)
+	}
+	for _, t := range terms {
+		if IsInf(t.S.W) || len(t.X) == 0 {
+			continue // SMul's annihilator: the term contributes nothing
+		}
+		lists = append(lists, t.X)
+		shifts = append(shifts, t.S.W)
+		vias = append(vias, t.S.Via)
+		total += len(t.X)
+	}
+	var out RouteMap
+	if total > 0 {
+		out = make(RouteMap, 0, total)
+		mergeSorted(sc, lists, func(r Route) NodeID { return r.Target },
+			func(li int32, r Route, first bool) {
+				dist := r.Dist + shifts[li]
+				next := vias[li]
+				if next == NoVia {
+					next = r.Next
+				}
+				if !first {
+					if best := &out[len(out)-1]; dist < best.Dist || (dist == best.Dist && next < best.Next) {
+						best.Dist, best.Next = dist, next
+					}
+					return
+				}
+				out = append(out, Route{Target: r.Target, Dist: dist, Next: next})
+			})
+	}
+	for i := range lists {
+		lists[i] = nil
+	}
+	sc.routes, sc.shifts, sc.vias = lists[:0], shifts[:0], vias[:0]
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+var _ Aggregator[Hop, RouteMap] = RouteMapModule{}
+
 // Zero returns the empty table.
 func (RouteMapModule) Zero() RouteMap { return nil }
 

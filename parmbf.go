@@ -34,6 +34,7 @@ import (
 
 	"parmbf/internal/apps/buyatbulk"
 	"parmbf/internal/apps/kmedian"
+	"parmbf/internal/apps/routing"
 	"parmbf/internal/apps/steiner"
 	"parmbf/internal/congest"
 	"parmbf/internal/frt"
@@ -149,7 +150,7 @@ type BuyAtBulkSolution = buyatbulk.Solution
 // SolveBuyAtBulk computes an expected O(log n)-approximate buy-at-bulk
 // network design (Theorem 10.2 of the paper).
 func SolveBuyAtBulk(g *Graph, demands []Demand, cables []CableType, seed uint64) (*BuyAtBulkSolution, error) {
-	return buyatbulk.Solve(g, demands, cables, buyatbulk.Options{RNG: par.NewRNG(seed), UseOracle: true})
+	return buyatbulk.Solve(g, demands, cables, buyatbulk.Options{RNG: par.NewRNG(seed)})
 }
 
 // Generators, re-exported for examples and experiments.
@@ -301,7 +302,7 @@ type SteinerResult = steiner.Result
 // sampled FRT embedding — the extension application motivated by the
 // paper's introduction ("a plethora of Steiner-type problems").
 func SolveSteiner(g *Graph, terminals []Node, seed uint64) (*SteinerResult, error) {
-	return steiner.ViaEmbedding(g, terminals, par.NewRNG(seed), true)
+	return steiner.Solve(g, terminals, steiner.Options{RNG: par.NewRNG(seed)})
 }
 
 // SteinerBaseline computes the classic 2-approximate Steiner tree (MST of
@@ -314,4 +315,25 @@ func SteinerBaseline(g *Graph, terminals []Node) (*SteinerResult, error) {
 // member of centers).
 func KMedianAssignment(g *Graph, centers []Node) []Node {
 	return kmedian.Assignment(g, centers)
+}
+
+// RoutingTables holds oblivious-routing state over a tree ensemble: shared
+// next-hop tables toward every cluster center plus per-tree decomposition
+// indexes. Build once, answer any demand pair without seeing the others.
+type RoutingTables = routing.Tables
+
+// RouteResult is one routed pair: the walked path in G, its length, and the
+// tree-distance certificate it stays under.
+type RouteResult = routing.RouteResult
+
+// BuildRoutingTables samples FRT trees of g and precomputes the
+// oblivious-routing tables (expected O(log n) stretch per routed pair).
+func BuildRoutingTables(g *Graph, trees int, seed uint64) (*RoutingTables, error) {
+	return routing.Build(g, routing.Options{RNG: par.NewRNG(seed), Trees: trees})
+}
+
+// ValidateRoute audits one routed pair against g: endpoints, every hop a
+// real edge, exact length accounting, and the tree-distance certificate.
+func ValidateRoute(g *Graph, u, v Node, r *RouteResult) error {
+	return routing.Validate(g, u, v, r)
 }

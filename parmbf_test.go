@@ -224,3 +224,64 @@ func TestFacadeSnapshotRoundTrip(t *testing.T) {
 		t.Fatal("truncated snapshot accepted")
 	}
 }
+
+func TestFacadeSteiner(t *testing.T) {
+	g := GridGraph(6, 6, 2, NewRNG(31))
+	terms := []Node{0, 5, 30, 35}
+	res, err := SolveSteiner(g, terms, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := SteinerBaseline(g, terms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Weight <= 0 || base.Weight <= 0 {
+		t.Fatal("degenerate Steiner trees")
+	}
+	// Both are O(log n)-ish approximations of the same optimum; a wild
+	// disagreement means one of the facade paths is broken.
+	if res.Weight > 12*base.Weight || base.Weight > 12*res.Weight {
+		t.Fatalf("embedding %v vs baseline %v implausibly far apart", res.Weight, base.Weight)
+	}
+}
+
+func TestFacadeRouting(t *testing.T) {
+	g := RandomConnected(60, 160, 5, NewRNG(33))
+	tables, err := BuildRoutingTables(g, 3, 34)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tables.NumTrees() != 3 {
+		t.Fatalf("tables hold %d trees, want 3", tables.NumTrees())
+	}
+	r, err := tables.Route(0, 59)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateRoute(g, 0, 59, r); err != nil {
+		t.Fatal(err)
+	}
+	cooked := &RouteResult{Path: r.Path, Length: r.Length / 2, Tree: r.Tree, TreeDist: r.TreeDist}
+	if err := ValidateRoute(g, 0, 59, cooked); err == nil {
+		t.Fatal("cooked route length accepted")
+	}
+}
+
+func TestFacadeTreeIndex(t *testing.T) {
+	g := RandomConnected(40, 100, 4, NewRNG(35))
+	emb, err := SampleTree(g, 36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := NewTreeIndex(emb.Tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 10; v++ {
+		u, w := Node(v), Node(g.N()-1-v)
+		if got, want := idx.Dist(u, w), emb.Tree.Dist(u, w); got != want {
+			t.Fatalf("index Dist(%d,%d) = %v, walk says %v", u, w, got, want)
+		}
+	}
+}
